@@ -1,0 +1,89 @@
+"""EXTENSION — update susceptibility of the storage schemes.
+
+Makes the paper's Section 4.2 observation quantitative: "data-driven
+logical schemes make queries susceptible to updates".  A stream of insert
+batches hits both schemes; we account bytes rewritten and schema/plan
+invalidation events.
+
+Expected shape: the vertically-partitioned scheme rewrites far less per
+batch (only the touched property tables) but is the only one whose schema
+grows and whose generated all-property queries go stale when a new
+property arrives.
+"""
+
+from repro.bench.reporting import format_table
+from repro.colstore import ColumnStoreEngine
+from repro.model.triple import Triple
+from repro.storage import (
+    build_triple_store,
+    build_vertical_store,
+    insert_triples,
+)
+
+
+def _batches(dataset):
+    """Three insert batches: known properties, then a schema-busting one."""
+    e = dataset.entity_name
+    return [
+        [
+            Triple(e(1), "<language>", "<language/iso639-2b/ger>"),
+            Triple(e(2), "<origin>", "<info:marcorg/MH>"),
+        ],
+        [
+            Triple("<acquisition/1>", "<type>", "<Text>"),
+            Triple("<acquisition/1>", "<records>", e(3)),
+        ],
+        [
+            Triple(e(4), "<isbn>", '"978-3-16-148410-0"'),  # new property!
+        ],
+    ]
+
+
+def run_update_experiment(dataset):
+    rows = []
+    outcomes = {}
+    for scheme, build in (
+        ("triple-PSO", build_triple_store),
+        ("vertical", build_vertical_store),
+    ):
+        engine = ColumnStoreEngine()
+        catalog = build(
+            engine, dataset.triples, dataset.interesting_properties
+        )
+        total_rewritten = 0
+        schema_changes = 0
+        invalidations = 0
+        for batch in _batches(dataset):
+            catalog, report = insert_triples(engine, catalog, batch)
+            total_rewritten += report.bytes_rewritten
+            schema_changes += int(report.schema_changed)
+            invalidations += int(report.plans_invalidated)
+        outcomes[scheme] = (total_rewritten, schema_changes, invalidations)
+        rows.append(
+            [scheme, total_rewritten, schema_changes, invalidations]
+        )
+    table = format_table(
+        ["scheme", "bytes rewritten", "schema changes", "plan invalidations"],
+        rows,
+        title="Extension: update susceptibility (3 insert batches, "
+              "last one carries a new property)",
+    )
+    return table, outcomes
+
+
+def test_update_susceptibility(benchmark, dataset, publish):
+    table, outcomes = benchmark.pedantic(
+        run_update_experiment, args=(dataset,), rounds=1, iterations=1
+    )
+    publish(("ext_updates", table))
+
+    triple_bytes, triple_schema, triple_invalid = outcomes["triple-PSO"]
+    vert_bytes, vert_schema, vert_invalid = outcomes["vertical"]
+
+    # Vertical rewrites far less physically...
+    assert vert_bytes < triple_bytes / 3
+    # ... but is the only scheme whose logical schema changes, stale-ing
+    # the generated queries; the triple-store absorbs the new property
+    # with neither.
+    assert vert_schema == 1 and vert_invalid == 1
+    assert triple_schema == 0 and triple_invalid == 0

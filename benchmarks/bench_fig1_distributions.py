@@ -1,0 +1,33 @@
+"""Figure 1 — cumulative frequency distributions.
+
+The property curve must saturate almost immediately (highly Zipfian skew),
+subjects must be far more uniform, objects in between — the visual ordering
+of the paper's Figure 1.
+"""
+
+from repro.bench.experiments import experiment_figure1
+
+
+def test_figure1_cumulative_distributions(benchmark, dataset, publish):
+    result = benchmark.pedantic(
+        experiment_figure1, args=(dataset,), rounds=1, iterations=1
+    )
+    publish(result)
+
+    properties = result.series["properties"]
+    subjects = result.series["subjects"]
+    objects = result.series["objects"]
+
+    at_13 = result.x_values.index(13)
+    assert properties[at_13] > 95  # "top 13% ... account for 99%"
+    # Visual ordering of the three curves: properties on top, subjects at
+    # the bottom, objects in between (the head of the object curve is steep
+    # too — #Date alone is 8% of the triples — so compare from x=5 up).
+    for i, x in enumerate(result.x_values):
+        assert properties[i] >= subjects[i]
+        if x >= 5:
+            assert properties[i] >= objects[i] - 1
+            assert objects[i] >= subjects[i] - 1
+    # All curves reach 100% at x=100.
+    for series in result.series.values():
+        assert series[-1] == 100.0

@@ -1,0 +1,27 @@
+"""Figure 6 — execution time vs number of properties (28 to 222).
+
+MonetDB, queries q2/q3/q4/q6, triple-PSO vs vertically-partitioned.  Shape:
+the vert curve rises with the property count; the triple curve is flat and
+*drops* at 222 properties (the final filter join disappears); the triple
+line eventually crosses below the vert line.
+"""
+
+from repro.bench.experiments import experiment_figure6
+
+
+def test_figure6_property_count_sweep(benchmark, dataset, publish):
+    results = benchmark.pedantic(
+        experiment_figure6, args=(dataset,), rounds=1, iterations=1
+    )
+    publish(results)
+
+    crossed = 0
+    for result in results:
+        vert = result.series["vert"]
+        triple = result.series["triple"]
+        assert vert[-1] > vert[0], result.name  # vert rises
+        assert triple[-1] <= triple[0] * 1.1, result.name  # triple flat/drops
+        assert triple[-1] < triple[-2], result.name  # the 222 drop
+        if triple[-1] < vert[-1]:
+            crossed += 1
+    assert crossed >= 3  # paper: triple overtakes in all cases but q4

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper on a
+synthetic scale model of the Barton data set, measures the harness run with
+pytest-benchmark, prints the regenerated table (visible with ``-s``), and
+writes it to ``benchmarks/output/`` so the results can be diffed against
+EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRIPLES`` — dataset size (default 60000),
+* ``REPRO_BENCH_SEED`` — generator seed (default 42).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.data import generate_barton
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_triples():
+    return int(os.environ.get("REPRO_BENCH_TRIPLES", "60000"))
+
+
+def bench_seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The Barton-like scale model shared by every bench."""
+    return generate_barton(n_triples=bench_triples(), seed=bench_seed())
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a regenerated table and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _publish(result):
+        results = result if isinstance(result, list) else [result]
+        for r in results:
+            if isinstance(r, tuple):
+                name, text = r
+            else:
+                name, text = r.name, r.render()
+            print()
+            print(text)
+            (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        return results
+
+    return _publish

@@ -1,0 +1,51 @@
+"""Repeating the C-Store experiment (the paper's Section 3).
+
+Loads the C-Store replica with the 28-property vertically-partitioned data,
+re-runs q1-q7 cold and hot on both machine profiles, prints the Table 4 /
+Table 5 data, and demonstrates the artifact's limitations: q8 and the
+full-scale variants simply do not exist in it.
+
+Run with::
+
+    python examples/cstore_repetition.py
+"""
+
+from repro.bench.experiments import (
+    experiment_figure5,
+    experiment_table4,
+    experiment_table5,
+)
+from repro.cstore import CStoreEngine
+from repro.data import generate_barton
+from repro.errors import UnsupportedOperationError
+
+
+def main():
+    dataset = generate_barton(n_triples=50_000, seed=42)
+
+    print(experiment_table4(dataset).render())
+    print()
+    print(experiment_table5(dataset).render())
+    print()
+    for result in experiment_figure5(dataset):
+        print(result.render())
+        print()
+
+    # The extensibility wall the paper hit.
+    engine = CStoreEngine().load_vertical(
+        dataset.triples, dataset.interesting_properties
+    )
+    print("attempting to extend the artifact:")
+    for attempt in ("q8", "q2*"):
+        try:
+            engine.run(attempt)
+        except UnsupportedOperationError as error:
+            print(f"  {attempt}: {error}")
+    try:
+        engine.create_table("triples", {})
+    except UnsupportedOperationError as error:
+        print(f"  triple-store DDL: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Storage showdown: the paper's core experiment in miniature.
+
+Generates a Barton-like dataset, deploys the full system grid of Tables 6/7
+(row store and column store, each hosting the triple-store clustered SPO or
+PSO and the vertically-partitioned scheme, plus the C-Store replica), runs
+all 12 benchmark queries cold and hot, and prints the two tables with their
+G / G* / G*÷G summaries — the "black swan" hunt of Section 4.3.
+
+Run with::
+
+    python examples/storage_showdown.py [n_triples]
+"""
+
+import sys
+
+from repro.bench.experiments import experiment_table6, experiment_table7
+from repro.data import generate_barton
+
+
+def main(n_triples=60_000):
+    print(f"generating a Barton-like dataset ({n_triples} triples, "
+          "222 properties)...")
+    dataset = generate_barton(n_triples=n_triples, seed=42)
+    print(f"  -> {len(dataset.triples)} triples, "
+          f"{len(dataset.properties)} properties, "
+          f"{dataset.n_entities} entities\n")
+
+    print("deploying 7 system configurations and running 12 queries, "
+          "cold and hot (times are scaled seconds, comparable with the "
+          "paper's Tables 6/7)...\n")
+
+    cold = experiment_table6(dataset)
+    print(cold.render())
+    print()
+    hot = experiment_table7(dataset)
+    print(hot.render())
+
+    # Point at the swans.
+    print("\nblack swans spotted:")
+    pso_cells, pso = cold.measured[("DBX", "triple", "PSO")]
+    vert_cells, vert = cold.measured[("DBX", "vert", "SO")]
+    print(
+        "  row store: with PSO clustering the triple-store's G* "
+        f"({pso['Gstar_real']:.2f}s) beats the vertically-partitioned "
+        f"G* ({vert['Gstar_real']:.2f}s) — the paper's counterexample to "
+        "the VLDB 2007 claim."
+    )
+    m_pso_cells, m_pso = cold.measured[("MonetDB", "triple", "PSO")]
+    m_vert_cells, m_vert = cold.measured[("MonetDB", "vert", "SO")]
+    swans = [
+        q for q in ("q2*", "q3*", "q6*", "q8")
+        if m_pso_cells[q].real < m_vert_cells[q].real
+    ]
+    print(
+        "  column store: vertical partitioning wins the restricted "
+        f"benchmark (G {m_vert['G_real']:.2f}s vs {m_pso['G_real']:.2f}s) "
+        f"but loses {', '.join(swans)} to the PSO triple-store."
+    )
+    print(
+        "  scalability: G*/G grows to "
+        f"{m_vert['ratio_real']:.2f} for vertical partitioning vs "
+        f"{m_pso['ratio_real']:.2f} for the triple-store."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60_000)

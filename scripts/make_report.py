@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper into one text report.
+
+Usage::
+
+    python scripts/make_report.py [--triples N] [--seed S] [--out FILE]
+
+This is the programmatic twin of ``pytest benchmarks/ --benchmark-only``:
+it runs all experiment drivers at the requested scale and writes a single
+plain-text report (default: ``benchmarks/output/full_report.txt``), with
+the measured scale factor recorded so the "scaled seconds" can be compared
+against the paper's Tables 4-7.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench import experiments as E
+from repro.bench.systems import data_scale
+from repro.data import generate_barton
+
+
+def build_report(n_triples, seed):
+    dataset = generate_barton(n_triples=n_triples, seed=seed)
+    sections = [
+        "Reproduction report — 'Column-Store Support for RDF Data "
+        "Management: not all swans are white' (VLDB 2008)",
+        f"dataset: {len(dataset.triples)} triples, "
+        f"{len(dataset.properties)} properties, seed {seed}; "
+        f"scale factor {data_scale(dataset):.6f} "
+        "(times below are scaled seconds, comparable with the paper's)",
+        "",
+    ]
+
+    def add(result):
+        for item in result if isinstance(result, list) else [result]:
+            sections.append(item.render())
+            sections.append("")
+
+    add(E.experiment_table1(dataset))
+    add(E.experiment_figure1(dataset))
+    add(E.experiment_table2())
+    add(E.experiment_table3())
+    add(E.experiment_table4(dataset))
+    add(E.experiment_table5(dataset))
+    add(E.experiment_figure5(dataset))
+    add(E.experiment_table6(dataset))
+    add(E.experiment_table7(dataset))
+    add(E.experiment_figure6(dataset))
+    add(E.experiment_figure7(dataset))
+    return "\n".join(sections)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--triples", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "output" / "full_report.txt"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(args.triples, args.seed)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report + "\n")
+    print(f"wrote {out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package installs on machines without the ``wheel`` package (offline
+environments), via ``pip install -e . --no-use-pep517 --no-build-isolation``
+or plain ``pip install -e .`` with older tooling.
+"""
+
+from setuptools import setup
+
+setup()

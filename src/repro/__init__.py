@@ -1,0 +1,33 @@
+"""repro — reproduction of "Column-Store Support for RDF Data Management:
+not all swans are white" (Sidirourgos et al., VLDB 2008).
+
+The package rebuilds the paper's complete experimental apparatus from
+scratch in Python:
+
+* :mod:`repro.core` — the public :class:`~repro.core.RDFStore` facade,
+* :mod:`repro.colstore` / :mod:`repro.rowstore` / :mod:`repro.cstore` —
+  the three engines (MonetDB-like, DBX-like, C-Store replica),
+* :mod:`repro.storage` — the triple-store and vertically-partitioned
+  schemes,
+* :mod:`repro.queries` / :mod:`repro.sql` — the benchmark queries as plans
+  and as the appendix SQL (plus the vertically-partitioned SQL generator),
+* :mod:`repro.data` — the Barton-like synthetic dataset,
+* :mod:`repro.bench` — the cold/hot protocol and one experiment driver per
+  table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import RDFStore, Var
+from repro.data import generate_barton
+from repro.model import Triple, RDFGraph, parse_ntriples_text
+
+__all__ = [
+    "RDFStore",
+    "Var",
+    "Triple",
+    "RDFGraph",
+    "generate_barton",
+    "parse_ntriples_text",
+    "__version__",
+]

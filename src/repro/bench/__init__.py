@@ -1,0 +1,28 @@
+"""Benchmark harness: the cold/hot protocol, metrics, and the experiment
+drivers that regenerate every table and figure of the paper.
+
+The conventions follow the paper's Section 2.3:
+
+* **cold run** — the DBMS restarts and every cache is flushed before the
+  query executes (here: :meth:`make_cold` clears the simulated buffer pool),
+* **hot run** — the query ran once to load its data; measurements come from
+  subsequent runs without clearing anything,
+* **real time** — simulated wall clock on the server (CPU + synchronous
+  I/O); **user time** — the CPU part alone,
+* loading, clustering and index construction stay outside the measured
+  window.
+"""
+
+from repro.bench.metrics import geometric_mean, TimingCell, summarize
+from repro.bench.runner import BenchmarkRunner, RunResult
+from repro.bench.reporting import format_table, format_series
+
+__all__ = [
+    "geometric_mean",
+    "TimingCell",
+    "summarize",
+    "BenchmarkRunner",
+    "RunResult",
+    "format_table",
+    "format_series",
+]

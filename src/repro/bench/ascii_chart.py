@@ -1,0 +1,73 @@
+"""Plain-text line charts for the figure experiments.
+
+The paper's figures are gnuplot line charts; the closest terminal-friendly
+equivalent is a character grid with one marker per series.  The renderer is
+deliberately simple: linear axes, per-series markers, a legend, and the
+y-range annotated — enough to see the crossovers that the figures exist to
+show.
+"""
+
+#: Per-series plot markers, assigned in series order.
+MARKERS = "*+ox#@%&"
+
+
+def line_chart(x_values, series, width=60, height=16, x_label="",
+               y_label=""):
+    """Render ``{name: [y...]}`` over *x_values* as an ASCII chart."""
+    if not series or not x_values:
+        return "(no data)"
+    all_y = [y for ys in series.values() for y in ys if y is not None]
+    if not all_y:
+        return "(no data)"
+    y_min = min(all_y)
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = min(x_values)
+    x_max = max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x, y, marker):
+        column = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    for index, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(x_values, ys):
+            if y is not None:
+                place(x, y, marker)
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_max:g}"
+    bottom = f"{y_min:g}"
+    margin = max(len(top), len(bottom)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (margin + 1) + x_left + " " * max(gap, 1) + x_right
+    )
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

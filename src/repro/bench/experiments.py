@@ -1,0 +1,436 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns an :class:`ExperimentResult` whose ``rows`` mirror the
+layout of the corresponding paper table (or whose ``series`` mirror the
+figure's curves), measured on the synthetic scale model.  Times are
+reported in *scaled seconds* — simulated seconds divided by the dataset's
+scale factor — which are directly comparable with the paper's numbers.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.bench.metrics import INITIAL_QUERIES, TimingCell, summarize
+from repro.bench.reporting import format_series, format_table
+from repro.bench.runner import BenchmarkRunner
+from repro.bench.systems import SYSTEM_GRID, Deployment, deploy, deploy_grid
+from repro.data import compute_statistics, cumulative_distribution, split_properties
+from repro.data.barton import WELL_KNOWN_PROPERTIES
+from repro.data.stats import frequency_table
+from repro.engine import MACHINES, MACHINE_B
+from repro.errors import BenchmarkError
+from repro.queries import ALL_QUERY_NAMES, coverage_table
+from repro.queries.definitions import BASE_QUERY_NAMES
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table or figure."""
+
+    name: str
+    title: str
+    headers: list
+    rows: list
+    notes: list = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    x_values: list = field(default_factory=list)
+    x_label: str = ""
+
+    def render(self, chart=True):
+        if self.series:
+            text = format_series(
+                self.x_label, self.x_values, self.series, title=self.title
+            )
+            if chart and len(self.x_values) > 1:
+                from repro.bench.ascii_chart import line_chart
+
+                text += "\n" + line_chart(
+                    self.x_values, self.series, x_label=self.x_label
+                )
+        else:
+            text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Figure 1 / Table 2 / Table 3
+# ---------------------------------------------------------------------------
+
+def experiment_table1(dataset):
+    """Table 1: data set details."""
+    stats = compute_statistics(dataset.triples)
+    rows = [[label, value] for label, value in stats.rows()]
+    return ExperimentResult(
+        name="table1",
+        title="Table 1: Data set details (synthetic scale model)",
+        headers=["metric", "value"],
+        rows=rows,
+        notes=[
+            f"scale model of the 50,255,599-triple Barton dump "
+            f"({len(dataset.triples)} triples)"
+        ],
+    )
+
+
+def experiment_figure1(dataset, sample_points=(1, 2, 5, 10, 13, 20, 40, 60, 80, 100)):
+    """Figure 1: cumulative frequency distributions."""
+    series = {}
+    for component, label in (("p", "properties"), ("s", "subjects"), ("o", "objects")):
+        x, y = cumulative_distribution(frequency_table(dataset.triples, component))
+        values = []
+        for point in sample_points:
+            index = min(len(x) - 1, int(np.searchsorted(x, point)))
+            values.append(round(float(y[index]), 1))
+        series[label] = values
+    return ExperimentResult(
+        name="figure1",
+        title="Figure 1: Cumulative frequency distribution "
+              "(% of triples covered by top-x% of values)",
+        headers=[],
+        rows=[],
+        series=series,
+        x_values=list(sample_points),
+        x_label="% of total *",
+    )
+
+
+def experiment_table2():
+    """Table 2: coverage of the query space."""
+    rows = []
+    for name in BASE_QUERY_NAMES:
+        triple_patterns, join_patterns = coverage_table()[name]
+        rows.append(
+            [name, ",".join(triple_patterns), ",".join(join_patterns) or "-"]
+        )
+    return ExperimentResult(
+        name="table2",
+        title="Table 2: Coverage of the query space",
+        headers=["Query", "Triple patterns", "Join patterns"],
+        rows=rows,
+    )
+
+
+def experiment_table3():
+    """Table 3: machine configurations."""
+    machine_rows = [m.table3_row() for m in MACHINES.values()]
+    headers = ["field"] + [r["Machine"] for r in machine_rows]
+    fields = [k for k in machine_rows[0] if k != "Machine"]
+    rows = [[f] + [r[f] for r in machine_rows] for f in fields]
+    return ExperimentResult(
+        name="table3",
+        title="Table 3: Machine configuration",
+        headers=headers,
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 / Table 5 / Figure 5 — the C-Store repetition
+# ---------------------------------------------------------------------------
+
+def experiment_table4(dataset, machines=("A", "B")):
+    """Table 4: repetition of the C-Store experiment on machines A and B."""
+    rows = []
+    from repro.bench.metrics import geometric_mean
+
+    for machine_name in machines:
+        deployment = deploy(
+            dataset, "C-Store", "vert", machine=MACHINES[machine_name]
+        )
+        runner = BenchmarkRunner(deployment.engine)
+        for mode in ("cold", "hot"):
+            cells = {}
+            for query in INITIAL_QUERIES:
+                result = runner.run(
+                    query, deployment.executor(query), mode
+                )
+                cells[query] = TimingCell(
+                    deployment.scaled_seconds(result.timing.real_seconds),
+                    deployment.scaled_seconds(result.timing.user_seconds),
+                )
+            for clock in ("real", "user"):
+                values = [getattr(cells[q], clock) for q in INITIAL_QUERIES]
+                rows.append(
+                    [f"{machine_name} {mode} {clock}"]
+                    + [round(v, 2) for v in values]
+                    + [round(geometric_mean(values), 1)]
+                )
+    return ExperimentResult(
+        name="table4",
+        title="Table 4: Repetition results (scaled seconds)",
+        headers=["run"] + list(INITIAL_QUERIES) + ["G"],
+        rows=rows,
+    )
+
+
+def experiment_table5(dataset, machine="A"):
+    """Table 5: data read from disk and rows returned per query."""
+    deployment = deploy(
+        dataset, "C-Store", "vert", machine=MACHINES[machine]
+    )
+    runner = BenchmarkRunner(deployment.engine)
+    rows = []
+    for query in INITIAL_QUERIES:
+        result = runner.run_cold(query, deployment.executor(query))
+        scaled_mb = result.timing.bytes_read / deployment.scale / (1024 * 1024)
+        rows.append([query, round(scaled_mb, 1), result.n_rows])
+    return ExperimentResult(
+        name="table5",
+        title="Table 5: Data relevant to a query "
+              "(scaled MB read from disk, rows returned)",
+        headers=["query", "data read (MB, scaled)", "rows returned"],
+        rows=rows,
+        notes=["row counts are at synthetic scale and shrink with the "
+               "dataset; MB are rescaled to paper scale"],
+    )
+
+
+def experiment_figure5(dataset, queries=("q3", "q5"), machines=("A", "B"),
+                       n_samples=12):
+    """Figure 5: I/O read history (cumulative MB over time) per machine."""
+    results = []
+    for query in queries:
+        series = {}
+        max_time = 0.0
+        histories = {}
+        for machine_name in machines:
+            deployment = deploy(
+                dataset, "C-Store", "vert", machine=MACHINES[machine_name]
+            )
+            runner = BenchmarkRunner(deployment.engine)
+            runner.run_cold(query, deployment.executor(query))
+            history = [
+                (deployment.scaled_seconds(t), b / deployment.scale)
+                for t, b in deployment.engine.io_history()
+            ]
+            histories[machine_name] = history
+            max_time = max(max_time, history[-1][0])
+        x_values = [
+            round(max_time * i / (n_samples - 1), 2) for i in range(n_samples)
+        ]
+        for machine_name, history in histories.items():
+            times = [t for t, _ in history]
+            sizes = [b for _, b in history]
+            values = []
+            for x in x_values:
+                index = int(np.searchsorted(times, x, side="right")) - 1
+                values.append(round(sizes[max(index, 0)] / (1024 * 1024), 1))
+            series[machine_name] = values
+        results.append(
+            ExperimentResult(
+                name=f"figure5_{query}",
+                title=f"Figure 5: I/O read history for {query} "
+                      "(scaled MB read vs scaled seconds)",
+                headers=[],
+                rows=[],
+                series=series,
+                x_values=x_values,
+                x_label="time (s)",
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Tables 6 and 7 — the full grid
+# ---------------------------------------------------------------------------
+
+def experiment_table67(dataset, mode, machine=MACHINE_B, grid=SYSTEM_GRID):
+    """Tables 6 (cold) / 7 (hot): every system x every query."""
+    if mode not in ("cold", "hot"):
+        raise BenchmarkError(f"mode must be cold or hot, not {mode!r}")
+    rows = []
+    measured = {}
+    for config in grid:
+        deployment = deploy(dataset, *config, machine=machine)
+        runner = BenchmarkRunner(deployment.engine)
+        cells = {}
+        for query in ALL_QUERY_NAMES:
+            if not deployment.supports(query):
+                continue
+            result = runner.run(query, deployment.executor(query), mode)
+            cells[query] = TimingCell(
+                deployment.scaled_seconds(result.timing.real_seconds),
+                deployment.scaled_seconds(result.timing.user_seconds),
+            )
+        summary = summarize(cells)
+        measured[config] = (cells, summary)
+        for clock in ("real", "user"):
+            row = [deployment.label(), clock]
+            for query in ALL_QUERY_NAMES:
+                cell = cells.get(query)
+                row.append(
+                    None if cell is None else round(getattr(cell, clock), 2)
+                )
+            g = summary[f"G_{clock}"]
+            gstar = summary[f"Gstar_{clock}"]
+            ratio = summary[f"ratio_{clock}"]
+            row.extend(
+                [
+                    None if g is None else round(g, 2),
+                    None if gstar is None else round(gstar, 2),
+                    None if ratio is None else round(ratio, 2),
+                ]
+            )
+            rows.append(row)
+    table_number = 6 if mode == "cold" else 7
+    result = ExperimentResult(
+        name=f"table{table_number}",
+        title=f"Table {table_number}: Experimental results for {mode} runs "
+              "(scaled seconds)",
+        headers=["system", "time"] + list(ALL_QUERY_NAMES)
+        + ["G", "G*", "G*/G"],
+        rows=rows,
+    )
+    result.measured = measured
+    return result
+
+
+def experiment_table6(dataset, machine=MACHINE_B, grid=SYSTEM_GRID):
+    return experiment_table67(dataset, "cold", machine=machine, grid=grid)
+
+
+def experiment_table7(dataset, machine=MACHINE_B, grid=SYSTEM_GRID):
+    return experiment_table67(dataset, "hot", machine=machine, grid=grid)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — time vs number of properties considered (28 .. 222)
+# ---------------------------------------------------------------------------
+
+def experiment_figure6(dataset, queries=("q2", "q3", "q4", "q6"),
+                       property_counts=(28, 56, 84, 112, 140, 168, 196, 222),
+                       machine=MACHINE_B, mode="cold"):
+    """Figure 6: MonetDB, triple-PSO vs vertical, growing property scope."""
+    property_counts = [
+        k for k in property_counts if k <= len(dataset.properties)
+    ]
+    triple = deploy(dataset, "MonetDB", "triple", "PSO", machine=machine)
+    vert = deploy(dataset, "MonetDB", "vert", machine=machine)
+
+    # Auxiliary filter tables properties_<k> on the triple-store engine.
+    catalogs = {}
+    all_properties = triple.catalog.all_properties
+    for k in property_counts:
+        names = all_properties[:k]
+        if k == len(all_properties):
+            catalogs[k] = (triple.catalog, "all")
+            continue
+        table_name = f"properties_{k}"
+        if not triple.engine.has_table(table_name):
+            oids = np.asarray(
+                [triple.catalog.dictionary.lookup(p) for p in names],
+                dtype=np.int64,
+            )
+            triple.engine.create_table(
+                table_name, {"prop": oids}, sort_by=["prop"]
+            )
+        catalogs[k] = (
+            triple.catalog.with_properties(table_name, names),
+            "interesting",
+        )
+
+    results = []
+    for query in queries:
+        series = {"triple": [], "vert": []}
+        for k in property_counts:
+            names = all_properties[:k]
+            catalog_k, scope = catalogs[k]
+            runner = BenchmarkRunner(triple.engine)
+            from repro.queries import build_query
+
+            plan = build_query(catalog_k, query, scope=scope)
+            result = runner.run(query, lambda: triple.engine.run(plan), mode)
+            series["triple"].append(
+                round(triple.scaled_seconds(result.timing.real_seconds), 2)
+            )
+            runner = BenchmarkRunner(vert.engine)
+            result = runner.run(
+                query, vert.executor(query, scope=names), mode
+            )
+            series["vert"].append(
+                round(vert.scaled_seconds(result.timing.real_seconds), 2)
+            )
+        results.append(
+            ExperimentResult(
+                name=f"figure6_{query}",
+                title=f"Figure 6: {query} execution time vs number of "
+                      "properties (MonetDB, scaled seconds)",
+                headers=[],
+                rows=[],
+                series=series,
+                x_values=list(property_counts),
+                x_label="#properties",
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — scale-up by property splitting (222 .. 1000)
+# ---------------------------------------------------------------------------
+
+def experiment_figure7(dataset, queries=("q2*", "q3*", "q4*", "q6*"),
+                       property_counts=(222, 400, 600, 800, 1000),
+                       machine=MACHINE_B, mode="cold", seed=0):
+    """Figure 7: splitting properties, triple vs vertical on MonetDB."""
+    series = {}
+    for query in queries:
+        series[f"{query} vert"] = []
+        series[f"{query} triple"] = []
+    x_values = []
+    base_count = len({t.p for t in dataset.triples})
+    for target in property_counts:
+        if target < base_count:
+            continue
+        if target == base_count:
+            triples = dataset.triples
+        else:
+            triples, _ = split_properties(
+                dataset.triples, target, seed=seed,
+                protected=WELL_KNOWN_PROPERTIES,
+                # The frequent head properties can absorb many splits; the
+                # long tail saturates quickly (a 5-triple property cannot
+                # produce 10 non-empty sub-properties).
+                max_subproperties=50,
+            )
+        split = _SplitDataset(triples, dataset.interesting_properties)
+        triple = deploy(split, "MonetDB", "triple", "PSO", machine=machine)
+        vert = deploy(split, "MonetDB", "vert", machine=machine)
+        x_values.append(target)
+        for query in queries:
+            for deployment, label in ((vert, "vert"), (triple, "triple")):
+                runner = BenchmarkRunner(deployment.engine)
+                result = runner.run(
+                    query, deployment.executor(query), mode
+                )
+                series[f"{query} {label}"].append(
+                    round(
+                        deployment.scaled_seconds(result.timing.real_seconds),
+                        2,
+                    )
+                )
+    return ExperimentResult(
+        name="figure7",
+        title="Figure 7: Scalability experiment — splitting properties "
+              "(MonetDB, scaled seconds)",
+        headers=[],
+        rows=[],
+        series=series,
+        x_values=x_values,
+        x_label="#properties",
+    )
+
+
+class _SplitDataset:
+    """Duck-typed dataset view over a transformed triple list."""
+
+    def __init__(self, triples, interesting_properties):
+        self.triples = triples
+        self.interesting_properties = list(interesting_properties)
+
+    def __len__(self):
+        return len(self.triples)

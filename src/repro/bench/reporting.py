@@ -1,0 +1,62 @@
+"""Plain-text rendering of benchmark tables and figure series."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table.
+
+    *rows* contain strings or numbers; floats print with 2-3 significant
+    decimals like the paper's tables.
+    """
+    rendered = [[_cell(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                      for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(x_label, x_values, series, title=None):
+    """Render figure data as aligned columns: x plus one column per series.
+
+    *series* is an ordered mapping name -> list of y values.
+    """
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _numeric(cell):
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return cell == "-"

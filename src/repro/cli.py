@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+::
+
+    python -m repro generate --triples 50000 --out barton.nt
+    python -m repro query --data barton.nt --sparql 'SELECT ?s WHERE {...}'
+    python -m repro query --data barton.nt --scheme triple \\
+        --sql "SELECT A.obj, count(*) FROM triples AS A GROUP BY A.obj"
+    python -m repro bench --experiment table6 --triples 60000
+    python -m repro bench --list
+"""
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Column-Store Support for RDF Data "
+                    "Management: not all swans are white' (VLDB 2008)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a Barton-like N-Triples dataset"
+    )
+    generate.add_argument("--triples", type=int, default=100_000)
+    generate.add_argument("--properties", type=int, default=222)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument(
+        "--out", default="-", help="output file ('-' for stdout)"
+    )
+
+    query = sub.add_parser("query", help="query an N-Triples file")
+    query.add_argument("--data", required=True, help="N-Triples file")
+    query.add_argument(
+        "--engine", choices=("column", "row"), default="column"
+    )
+    query.add_argument(
+        "--scheme", choices=("vertical", "triple"), default="vertical"
+    )
+    query.add_argument("--clustering", default="PSO")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--sparql", help="SPARQL SELECT text")
+    group.add_argument("--sql", help="SQL text")
+    group.add_argument(
+        "--benchmark", help="benchmark query name (q1..q8, q2*..q6*)"
+    )
+    query.add_argument(
+        "--mode", choices=("cold", "hot"), default="hot",
+        help="run protocol for --benchmark",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="regenerate one of the paper's tables/figures"
+    )
+    bench.add_argument("--experiment", help="e.g. table6, figure7")
+    bench.add_argument("--triples", type=int, default=60_000)
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument(
+        "--list", action="store_true", help="list experiment names"
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="cross-check every engine x scheme against the reference "
+             "evaluator on all benchmark queries",
+    )
+    verify.add_argument("--triples", type=int, default=10_000)
+    verify.add_argument("--properties", type=int, default=60)
+    verify.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _command_generate,
+        "query": _command_query,
+        "bench": _command_bench,
+        "verify": _command_verify,
+    }[args.command]
+    return handler(args)
+
+
+# ---------------------------------------------------------------------------
+# generate
+# ---------------------------------------------------------------------------
+
+def _command_generate(args):
+    from repro.data import generate_barton
+    from repro.model.parser import serialize_ntriples
+
+    dataset = generate_barton(
+        n_triples=args.triples,
+        n_properties=args.properties,
+        n_interesting=min(28, args.properties),
+        seed=args.seed,
+    )
+    text = serialize_ntriples(dataset.triples)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(dataset.triples)} triples "
+            f"({len(dataset.properties)} properties) to {args.out}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# query
+# ---------------------------------------------------------------------------
+
+def _command_query(args):
+    from repro.core import RDFStore
+
+    with open(args.data) as handle:
+        text = handle.read()
+    store = RDFStore.from_ntriples(
+        text,
+        engine=args.engine,
+        scheme=args.scheme,
+        clustering=args.clustering,
+    )
+
+    if args.sparql:
+        for binding in store.sparql(args.sparql):
+            print("\t".join(f"?{k}={v}" for k, v in binding.items()))
+    elif args.sql:
+        for row in store.sql(args.sql):
+            print("\t".join(str(v) for v in row))
+    else:
+        rows, timing = store.benchmark_query(args.benchmark, mode=args.mode)
+        for row in rows:
+            print("\t".join(str(v) for v in row))
+        print(
+            f"-- {args.benchmark} {args.mode}: "
+            f"real {timing.real_seconds:.6f}s, "
+            f"user {timing.user_seconds:.6f}s, "
+            f"{timing.bytes_read} bytes read",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+_EXPERIMENTS = {
+    "table1": ("experiment_table1", True),
+    "figure1": ("experiment_figure1", True),
+    "table2": ("experiment_table2", False),
+    "table3": ("experiment_table3", False),
+    "table4": ("experiment_table4", True),
+    "table5": ("experiment_table5", True),
+    "figure5": ("experiment_figure5", True),
+    "table6": ("experiment_table6", True),
+    "table7": ("experiment_table7", True),
+    "figure6": ("experiment_figure6", True),
+    "figure7": ("experiment_figure7", True),
+}
+
+
+def _command_bench(args):
+    from repro.bench import experiments
+    from repro.data import generate_barton
+
+    if args.list or not args.experiment:
+        for name in _EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment not in _EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    function_name, needs_dataset = _EXPERIMENTS[args.experiment]
+    driver = getattr(experiments, function_name)
+    if needs_dataset:
+        dataset = generate_barton(n_triples=args.triples, seed=args.seed)
+        result = driver(dataset)
+    else:
+        result = driver()
+    for item in result if isinstance(result, list) else [result]:
+        print(item.render())
+        print()
+    return 0
+
+
+def _command_verify(args):
+    from repro.data import generate_barton
+    from repro.verify import verify_dataset
+
+    dataset = generate_barton(
+        n_triples=args.triples,
+        n_properties=args.properties,
+        n_interesting=min(28, args.properties),
+        seed=args.seed,
+    )
+    result = verify_dataset(dataset)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

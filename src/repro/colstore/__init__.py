@@ -1,0 +1,24 @@
+"""MonetDB-like column-store engine.
+
+A from-scratch column-at-a-time engine in the style the paper uses for its
+MonetDB/SQL experiments:
+
+* tables are collections of equal-length integer columns (BATs), each stored
+  in its own disk segment — a query touches (and therefore reads) only the
+  columns it uses,
+* a table can be kept sorted on a column list; equality selections on the
+  leading sort column become binary searches that read only the qualifying
+  slice (how the PSO-sorted triples table and the SO-sorted property tables
+  get their locality),
+* operators are vectorized numpy primitives with a small per-value CPU cost,
+  plus a per-operator plan overhead (MonetDB still parses/optimizes SQL —
+  the term that grows with the hundreds of unions in full-scale
+  vertically-partitioned queries).
+
+MonetDB/SQL "does not include user defined indices" (paper, Section 4.1):
+the engine exposes *sort order only*, no B+trees.
+"""
+
+from repro.colstore.engine import ColumnStoreEngine
+
+__all__ = ["ColumnStoreEngine"]

@@ -1,0 +1,127 @@
+"""Vectorized relational primitives over numpy int64 arrays.
+
+These are the column-store's physical operators: many-to-many equi-join
+index computation, row factorization (for multi-column keys), grouping and
+duplicate elimination.  They are pure functions of arrays — cost accounting
+happens in the executor that calls them.
+"""
+
+import numpy as np
+
+
+def join_indices(left_keys, right_keys):
+    """Indices realizing the inner equi-join of two key arrays.
+
+    Returns ``(left_idx, right_idx)`` such that
+    ``left_keys[left_idx] == right_keys[right_idx]`` enumerates every
+    matching pair.  ``left_idx`` is non-decreasing, so the join output
+    preserves the left input's ordering (the property the executor relies on
+    for sortedness propagation).
+    """
+    left_keys = np.asarray(left_keys, dtype=np.int64)
+    right_keys = np.asarray(right_keys, dtype=np.int64)
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    lo = np.searchsorted(sorted_right, left_keys, side="left")
+    hi = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    left_idx = np.repeat(np.arange(len(left_keys), dtype=np.int64), counts)
+    # For each output row, its offset within the matching right-side run.
+    run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - run_starts
+    right_idx = order[np.repeat(lo, counts) + within]
+    return left_idx, right_idx
+
+
+def factorize_rows(arrays):
+    """Dense integer codes identifying distinct rows of parallel arrays.
+
+    Returns ``(codes, n_distinct)``.  Equal rows get equal codes; codes are
+    assigned in sorted-row order (so sorting by code sorts by row).
+    """
+    arrays = [np.asarray(a, dtype=np.int64) for a in arrays]
+    if not arrays:
+        raise ValueError("factorize_rows needs at least one array")
+    n = len(arrays[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+    if len(arrays) == 1:
+        uniques, codes = np.unique(arrays[0], return_inverse=True)
+        return codes.astype(np.int64), len(uniques)
+    stacked = np.column_stack(arrays)
+    uniques, codes = np.unique(stacked, axis=0, return_inverse=True)
+    return codes.reshape(-1).astype(np.int64), len(uniques)
+
+
+def factorize_rows_shared(left_arrays, right_arrays):
+    """Factorize two row sets against a shared code space.
+
+    Returns ``(left_codes, right_codes)`` where equal rows (across the two
+    sides) receive equal codes — the building block for multi-column joins.
+    """
+    n_left = len(left_arrays[0]) if left_arrays else 0
+    combined = [
+        np.concatenate((np.asarray(l, dtype=np.int64), np.asarray(r, dtype=np.int64)))
+        for l, r in zip(left_arrays, right_arrays)
+    ]
+    codes, _ = factorize_rows(combined)
+    return codes[:n_left], codes[n_left:]
+
+
+def group_count(key_arrays):
+    """Group rows by key columns and count each group.
+
+    Returns ``(group_key_arrays, counts)`` with groups in sorted key order.
+    """
+    key_arrays = [np.asarray(a, dtype=np.int64) for a in key_arrays]
+    n = len(key_arrays[0])
+    if n == 0:
+        return [np.empty(0, dtype=np.int64) for _ in key_arrays], np.empty(
+            0, dtype=np.int64
+        )
+    codes, _ = factorize_rows(key_arrays)
+    unique_codes, first_pos, counts = np.unique(
+        codes, return_index=True, return_counts=True
+    )
+    keys = [a[first_pos] for a in key_arrays]
+    return keys, counts.astype(np.int64)
+
+
+def group_aggregate(key_arrays, value_array, func):
+    """Per-group min/max of *value_array*, groups in sorted key order.
+
+    Group order matches :func:`group_count` over the same keys.
+    """
+    value_array = np.asarray(value_array, dtype=np.int64)
+    if len(value_array) == 0:
+        return np.empty(0, dtype=np.int64)
+    codes, _ = factorize_rows(
+        [np.asarray(a, dtype=np.int64) for a in key_arrays]
+    )
+    order = np.argsort(codes, kind="stable")
+    sorted_values = value_array[order]
+    _, starts = np.unique(codes[order], return_index=True)
+    reducer = {"min": np.minimum, "max": np.maximum}[func]
+    return reducer.reduceat(sorted_values, starts)
+
+
+def distinct_rows(arrays):
+    """Indices of one representative row per distinct value combination.
+
+    Returned indices are sorted by row value (np.unique order).
+    """
+    arrays = [np.asarray(a, dtype=np.int64) for a in arrays]
+    if len(arrays[0]) == 0:
+        return np.empty(0, dtype=np.int64)
+    codes, _ = factorize_rows(arrays)
+    _, first_pos = np.unique(codes, return_index=True)
+    return first_pos.astype(np.int64)

@@ -1,0 +1,251 @@
+"""The RDFStore facade."""
+
+from repro.bench.runner import BenchmarkRunner
+from repro.colstore import ColumnStoreEngine
+from repro.core.bgp import bgp_plan
+from repro.errors import StorageError
+from repro.model.parser import parse_ntriples_text
+from repro.model.triple import Variable
+from repro.plan.render import render_plan
+from repro.queries import ALL_QUERY_NAMES, build_query
+from repro.rowstore import RowStoreEngine
+from repro.sql.planner import plan_sql
+from repro.storage import build_triple_store, build_vertical_store
+
+#: Convenience alias so user code reads ``Var("s")``.
+Var = Variable
+
+_ENGINES = {
+    "column": ColumnStoreEngine,
+    "row": RowStoreEngine,
+}
+
+_SCHEMES = ("triple", "vertical")
+
+
+class RDFStore:
+    """An RDF database: one engine hosting one storage scheme.
+
+    Parameters
+    ----------
+    triples:
+        Iterable of :class:`~repro.model.triple.Triple` (or 3-tuples of
+        strings).
+    engine:
+        ``"column"`` (MonetDB-like, the default) or ``"row"`` (DBX-like).
+    scheme:
+        ``"vertical"`` (one table per property, the proposal evaluated by
+        the paper) or ``"triple"`` (single triples table).
+    clustering:
+        Triple-store clustering order (default ``"PSO"``, the paper's
+        recommendation); ignored for the vertical scheme.
+    interesting_properties:
+        The property subset used by the benchmark's restricted queries;
+        default: the 28 most frequent properties in the data.
+    """
+
+    def __init__(self, triples, engine="column", scheme="vertical",
+                 clustering="PSO", interesting_properties=None,
+                 engine_options=None):
+        if engine not in _ENGINES:
+            raise StorageError(
+                f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+            )
+        if scheme not in _SCHEMES:
+            raise StorageError(
+                f"unknown scheme {scheme!r}; expected one of {_SCHEMES}"
+            )
+        triples = [t if hasattr(t, "s") else _as_triple(t) for t in triples]
+        # RDF graphs are sets of statements: duplicate inputs are one triple.
+        seen = set()
+        unique = []
+        for t in triples:
+            key = (t.s, t.p, t.o)
+            if key not in seen:
+                seen.add(key)
+                unique.append(t)
+        triples = unique
+        if interesting_properties is None:
+            interesting_properties = _top_properties(triples, 28)
+
+        self.engine_kind = engine
+        self.scheme = scheme
+        self.engine = _ENGINES[engine](**(engine_options or {}))
+        if scheme == "triple":
+            self.catalog = build_triple_store(
+                self.engine, triples, interesting_properties,
+                clustering=clustering,
+            )
+        else:
+            self.catalog = build_vertical_store(
+                self.engine, triples, interesting_properties,
+            )
+        self.n_triples = len(triples)
+        self._runner = BenchmarkRunner(self.engine)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, triples, **options):
+        """Build a store from an iterable of triples (or 3-tuples)."""
+        return cls(triples, **options)
+
+    @classmethod
+    def from_ntriples(cls, text, **options):
+        """Build a store from N-Triples text."""
+        return cls(parse_ntriples_text(text), **options)
+
+    @classmethod
+    def from_file(cls, path, **options):
+        """Build a store from an N-Triples file (``.gz`` supported)."""
+        from repro.model.parser import parse_ntriples_file
+
+        return cls(parse_ntriples_file(path), **options)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def sql(self, sql_text, optimize=False):
+        """Run SQL against the store; returns decoded row tuples.
+
+        Against a vertical store, write SQL in triple-store terms and pass
+        it through :func:`repro.sql.generate_vertical_sql` first, or query
+        the per-property tables (``vp_<oid>``) directly.
+
+        With ``optimize=True`` the cost-based join-order optimizer rewrites
+        the join trees before execution (an extension; the benchmark tables
+        always run the paper-shaped plans).
+        """
+        plan = plan_sql(sql_text, self.catalog)
+        if optimize:
+            from repro.plan.optimizer import (
+                engine_stats_provider,
+                optimize_joins,
+            )
+
+            plan = optimize_joins(plan, engine_stats_provider(self.engine))
+        relation = self.engine.execute(plan)
+        return relation.decoded_tuples(
+            self.catalog.dictionary, order=plan.output_columns()
+        )
+
+    def solve(self, patterns, projection=None):
+        """Evaluate a basic graph pattern; returns a list of binding dicts.
+
+        Patterns are ``(s, p, o)`` triples of constants and :class:`Var`
+        terms, e.g.::
+
+            store.solve([(Var("s"), "<type>", "<Text>"),
+                         (Var("s"), "<language>", Var("lang"))])
+        """
+        plan, names = bgp_plan(self.catalog, patterns, projection)
+        relation = self.engine.execute(plan)
+        if not names:
+            # Fully-bound BGP: one empty binding per match.
+            return [{} for _ in range(relation.n_rows)]
+        rows = relation.decoded_tuples(self.catalog.dictionary, order=names)
+        return [dict(zip(names, row)) for row in rows]
+
+    def sparql(self, text):
+        """Run a SPARQL SELECT over the store; returns binding dicts.
+
+        Supports the basic-graph-pattern fragment: ``SELECT [DISTINCT]
+        ?vars|* WHERE { patterns . FILTER(...) } [LIMIT n]``.
+        """
+        from repro.sparql import execute_sparql, parse_sparql
+
+        return execute_sparql(self.engine, self.catalog, parse_sparql(text))
+
+    def match(self, s=None, p=None, o=None):
+        """All triples matching the given constants (None = wildcard)."""
+        pattern = (
+            s if s is not None else Var("s"),
+            p if p is not None else Var("p"),
+            o if o is not None else Var("o"),
+        )
+        bindings = self.solve([pattern])
+        result = []
+        for binding in bindings:
+            result.append(
+                (
+                    binding.get("s", s),
+                    binding.get("p", p),
+                    binding.get("o", o),
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # the benchmark
+    # ------------------------------------------------------------------
+
+    def benchmark_query(self, name, mode="hot", scope=None):
+        """Run benchmark query *name* (q1..q8, q2*..q6*) under the paper's
+        cold/hot protocol; returns ``(decoded_rows, QueryTiming)``."""
+        plan = build_query(self.catalog, name, scope=scope)
+        captured = {}
+
+        def execute():
+            relation, timing = self.engine.run(plan)
+            captured["relation"] = relation
+            return relation, timing
+
+        result = self._runner.run(name, execute, mode)
+        relation = captured["relation"]
+        rows = relation.decoded_tuples(
+            self.catalog.dictionary, order=plan.output_columns()
+        )
+        return rows, result.timing
+
+    def benchmark_queries(self):
+        """The benchmark query names this store can run."""
+        return list(ALL_QUERY_NAMES)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def explain(self, sql_or_patterns):
+        """Render the logical plan for SQL text or a BGP pattern list."""
+        if isinstance(sql_or_patterns, str):
+            plan = plan_sql(sql_or_patterns, self.catalog)
+        else:
+            plan, _ = bgp_plan(self.catalog, sql_or_patterns)
+        return render_plan(plan)
+
+    def statistics(self):
+        """Table-1-style statistics of the loaded data
+        (:class:`~repro.data.stats.DatasetStatistics`)."""
+        from repro.data.stats import compute_statistics
+        from repro.model.triple import Triple
+
+        return compute_statistics(Triple(*t) for t in self.match())
+
+    def table_names(self):
+        return self.engine.table_names()
+
+    def database_bytes(self):
+        """Simulated on-disk footprint of the deployed scheme."""
+        return self.engine.database_bytes()
+
+    def make_cold(self):
+        """Clear the buffer pool (simulated server restart)."""
+        self.engine.make_cold()
+
+
+def _as_triple(value):
+    from repro.model.triple import Triple
+
+    s, p, o = value
+    return Triple(s, p, o)
+
+
+def _top_properties(triples, k):
+    counts = {}
+    for t in triples:
+        counts[t.p] = counts.get(t.p, 0) + 1
+    ranked = sorted(counts, key=lambda p: (-counts[p], p))
+    return ranked[: min(k, len(ranked))]

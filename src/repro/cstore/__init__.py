@@ -1,0 +1,25 @@
+"""C-Store replica: the artifact the paper's Section 3 re-runs.
+
+The original code base the authors obtained was "a layer over BerkeleyDB"
+with "all queries hardwired in C++ code", loaded only with the
+vertically-partitioned data of the 28 interesting properties.  This package
+reproduces that artifact faithfully, *including its limitations*:
+
+* storage is an ordered key-value substrate
+  (:class:`~repro.cstore.kvstore.OrderedKV`) holding one database per
+  property, keyed on (subject, object),
+* only queries q1-q7 exist, as hardwired plans
+  (:class:`~repro.cstore.engine.CStoreEngine`); q8, the full-scale ``*``
+  variants, and the triple-store scheme raise
+  :class:`~repro.errors.UnsupportedOperationError` — the paper could not
+  extend the artifact either, and calls that out as a drawback,
+* I/O is synchronous request-at-a-time in small (64 KB) chunks, so the
+  engine is latency-bound and "only exploits a small fraction of the I/O
+  bandwidth" (Figure 5) — a 4x faster RAID barely changes cold times
+  (Table 4, machines A vs B).
+"""
+
+from repro.cstore.kvstore import OrderedKV
+from repro.cstore.engine import CStoreEngine, CSTORE_QUERIES
+
+__all__ = ["OrderedKV", "CStoreEngine", "CSTORE_QUERIES"]

@@ -1,0 +1,321 @@
+"""Synthetic Barton-like RDF dataset generator.
+
+The generator reproduces, at configurable scale, the structural facts the
+paper's Section 2.1 reports about the Barton Libraries catalog:
+
+* a highly Zipfian property distribution — with the defaults, the top 13% of
+  properties carry 99% of the triples and the long tail yields many
+  vertically-partitioned tables with fewer than 10 rows,
+* ``<type>`` is the most frequent property (~25% of all triples),
+* objects are dominated by the #type class vocabulary (``<Date>`` the most
+  popular object overall, ``<Text>`` close behind),
+* subjects are near-uniform (every entity has exactly one ``<type>`` triple
+  plus a Poisson-ish share of the other properties),
+* a large fraction of subjects also appear as objects (entity-valued
+  properties such as ``<records>`` point at other entities).
+
+Every value hook the benchmark queries need is guaranteed present:
+``<type>``/``<Text>`` (q1-q4, q6), ``<language>``/``<language/iso639-2b/fre>``
+(q4), ``<origin>``/``<info:marcorg/DLC>`` and ``<records>`` (q5, q6),
+``<Point>``/``'"end"'`` and ``<Encoding>`` (q7), and the ``<conferences>``
+subject sharing objects with other subjects (q8).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.model.graph import RDFGraph
+from repro.model.triple import Triple
+from repro.data.zipf import apportion, head_tail_weights, zipf_weights
+
+# Well-known property names, in frequency-rank order (rank 1 first).
+TYPE = "<type>"
+RECORDS = "<records>"
+LANGUAGE = "<language>"
+ORIGIN = "<origin>"
+POINT = "<Point>"
+ENCODING = "<Encoding>"
+WELL_KNOWN_PROPERTIES = (TYPE, RECORDS, LANGUAGE, ORIGIN, POINT, ENCODING)
+
+# Well-known object constants used by the benchmark queries.
+TEXT = "<Text>"
+DATE = "<Date>"
+FRENCH = "<language/iso639-2b/fre>"
+DLC = "<info:marcorg/DLC>"
+END = '"end"'
+CONFERENCES = "<conferences>"
+
+# The named classes after <Date> and <Text>, mirroring the paper's remark
+# that the 9 most frequent objects are all objects of the property #type.
+NAMED_CLASSES = (
+    "<NotatedMusic>",
+    "<Periodical>",
+    "<Manuscript>",
+    "<Map>",
+    "<SoundRecording>",
+    "<Software>",
+    "<Image>",
+    "<Globe>",
+)
+
+
+@dataclass(frozen=True)
+class BartonConfig:
+    """Parameters of the synthetic Barton-like dataset."""
+
+    n_triples: int = 100_000
+    n_properties: int = 222
+    n_interesting: int = 28
+    n_classes: int = 30
+    seed: int = 42
+    # Property-frequency shape (see repro.data.zipf.head_tail_weights).
+    head_fraction: float = 0.13
+    head_mass: float = 0.99
+    head_exponent: float = 1.05
+    tail_decay: float = 0.97
+    # Share of <type> triples among class objects.
+    date_share: float = 0.33
+    text_share: float = 0.25
+    # Every k-th generic property is entity-valued (objects are entities),
+    # which produces the large subject/object overlap of the real dataset.
+    entity_valued_every: int = 3
+
+    def validate(self):
+        if self.n_triples < 1_000:
+            raise BenchmarkError("n_triples must be at least 1000")
+        if self.n_properties < len(WELL_KNOWN_PROPERTIES) + 1:
+            raise BenchmarkError(
+                f"n_properties must be at least {len(WELL_KNOWN_PROPERTIES) + 1}"
+            )
+        if not len(WELL_KNOWN_PROPERTIES) <= self.n_interesting <= self.n_properties:
+            raise BenchmarkError(
+                "n_interesting must lie between the well-known property count "
+                "and n_properties"
+            )
+        if self.n_classes < len(NAMED_CLASSES) + 2:
+            raise BenchmarkError("n_classes too small for the named classes")
+
+
+@dataclass
+class BartonDataset:
+    """A generated dataset: the triples plus its ground-truth metadata."""
+
+    triples: list
+    properties: list
+    interesting_properties: list
+    classes: list
+    n_entities: int
+    config: BartonConfig
+    _graph: RDFGraph = field(default=None, repr=False, compare=False)
+
+    def __len__(self):
+        return len(self.triples)
+
+    def graph(self):
+        """The triples as an :class:`RDFGraph` (built lazily, cached)."""
+        if self._graph is None:
+            self._graph = RDFGraph(self.triples)
+        return self._graph
+
+    def entity_name(self, index):
+        return _entity_name(index)
+
+
+def generate_barton(config=None, **overrides):
+    """Generate a Barton-like dataset.
+
+    Accepts either a :class:`BartonConfig` or keyword overrides of its
+    fields, e.g. ``generate_barton(n_triples=50_000, seed=7)``.
+    """
+    if config is None:
+        config = BartonConfig(**overrides)
+    elif overrides:
+        raise BenchmarkError("pass either a config or keyword overrides, not both")
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+
+    properties = _property_names(config)
+    counts = apportion(
+        config.n_triples,
+        head_tail_weights(
+            config.n_properties,
+            head_fraction=config.head_fraction,
+            head_mass=config.head_mass,
+            head_exponent=config.head_exponent,
+            tail_decay=config.tail_decay,
+        ),
+    )
+    counts = np.maximum(counts, 1)  # every property appears at least once
+
+    # Every entity carries exactly one <type> triple, so the entity count is
+    # the <type> triple count.
+    n_entities = int(counts[0])
+    classes = _class_names(config)
+    class_assignment = _assign_classes(rng, n_entities, classes, config)
+
+    triples = []
+    _emit_type_triples(triples, class_assignment, classes)
+    for rank in range(1, config.n_properties):
+        prop = properties[rank]
+        count = int(counts[rank])
+        if _is_entity_valued(rank, config):
+            _emit_entity_valued(triples, rng, prop, count, n_entities)
+        else:
+            _emit_literal_valued(triples, rng, prop, rank, count, n_entities)
+    _emit_hook_triples(triples, n_entities)
+
+    triples = _dedupe(triples)
+    return BartonDataset(
+        triples=triples,
+        properties=properties,
+        interesting_properties=properties[: config.n_interesting],
+        classes=classes,
+        n_entities=n_entities,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# naming
+# ----------------------------------------------------------------------
+
+def _entity_name(index):
+    return f"<entity/{index}>"
+
+
+def _property_names(config):
+    names = list(WELL_KNOWN_PROPERTIES)
+    names.extend(
+        f"<prop/{i}>" for i in range(config.n_properties - len(names))
+    )
+    return names
+
+
+def _class_names(config):
+    names = [DATE, TEXT]
+    names.extend(NAMED_CLASSES)
+    names.extend(f"<class/{i}>" for i in range(config.n_classes - len(names)))
+    return names[: config.n_classes]
+
+
+# ----------------------------------------------------------------------
+# generation steps
+# ----------------------------------------------------------------------
+
+def _assign_classes(rng, n_entities, classes, config):
+    """Pick one class per entity: Date/Text get fixed shares, rest is Zipf."""
+    rest = 1.0 - config.date_share - config.text_share
+    tail = zipf_weights(len(classes) - 2, 1.2) * rest
+    weights = np.concatenate(([config.date_share, config.text_share], tail))
+    assignment = rng.choice(len(classes), size=n_entities, p=weights / weights.sum())
+    # Reserved entities with deterministic classes so the query hooks exist
+    # at any scale or seed: e0, e2 are <Text>; e1 is <Date>.
+    if n_entities > 2:
+        assignment[0] = 1
+        assignment[1] = 0
+        assignment[2] = 1
+    return assignment
+
+
+def _emit_type_triples(triples, class_assignment, classes):
+    for entity, class_index in enumerate(class_assignment):
+        triples.append(
+            Triple(_entity_name(entity), TYPE, classes[class_index])
+        )
+
+
+def _is_entity_valued(rank, config):
+    """Is the property at *rank* entity-valued (objects are entities)?"""
+    prop_names = _property_names(config)
+    if prop_names[rank] == RECORDS:
+        return True
+    if prop_names[rank] in (LANGUAGE, ORIGIN, POINT, ENCODING):
+        return False
+    return rank % config.entity_valued_every == 0
+
+
+def _emit_entity_valued(triples, rng, prop, count, n_entities):
+    subjects = rng.integers(0, n_entities, size=count)
+    objects = rng.integers(0, n_entities, size=count)
+    for s, o in zip(subjects, objects):
+        triples.append(Triple(_entity_name(s), prop, _entity_name(o)))
+
+
+#: Fixed literal vocabularies for the well-known literal-valued properties.
+_FIXED_VOCABULARIES = {
+    LANGUAGE: (
+        FRENCH,
+        "<language/iso639-2b/eng>",
+        "<language/iso639-2b/ger>",
+        "<language/iso639-2b/spa>",
+        "<language/iso639-2b/rus>",
+    ),
+    ORIGIN: (DLC, "<info:marcorg/OCoLC>", "<info:marcorg/MH>", "<info:marcorg/NIC>"),
+    POINT: (END, '"start"'),
+    ENCODING: ('"marc"', '"utf8"', '"iso8859-1"'),
+}
+
+
+def _emit_literal_valued(triples, rng, prop, rank, count, n_entities):
+    vocabulary = _FIXED_VOCABULARIES.get(prop)
+    if vocabulary is None:
+        vocab_size = max(2, count // 3)
+        vocabulary = None  # literals are synthesized from indices below
+    else:
+        vocab_size = len(vocabulary)
+    weights = zipf_weights(vocab_size, 1.1)
+    subjects = rng.integers(0, n_entities, size=count)
+    object_indices = rng.choice(vocab_size, size=count, p=weights)
+    for s, j in zip(subjects, object_indices):
+        if vocabulary is None:
+            obj = f'"p{rank}_{j}"'
+        else:
+            obj = vocabulary[j]
+        triples.append(Triple(_entity_name(s), prop, obj))
+
+
+def _emit_hook_triples(triples, n_entities):
+    """Deterministic triples guaranteeing non-empty results for q1-q8.
+
+    Reserved entities: e0 (Text, French, DLC origin, end-point), e1 (Date,
+    pointed at by records), e2 (Text, pointed at by records), e3/e9 record
+    holders, e5 sharing an object with <conferences>.
+    """
+    if n_entities < 10:
+        raise BenchmarkError("dataset too small to host the benchmark hooks")
+    e = _entity_name
+    triples.extend(
+        [
+            # q4: a <Text> subject with French language and extra properties.
+            Triple(e(0), LANGUAGE, FRENCH),
+            Triple(e(0), ORIGIN, DLC),
+            # q7: an "end" point with an encoding (and e0 has a <type>).
+            Triple(e(0), POINT, END),
+            Triple(e(0), ENCODING, '"marc"'),
+            # q6 second branch: e3 records a <Text> entity.
+            Triple(e(3), RECORDS, e(2)),
+            # q5: e9 has origin DLC and records e1 whose type is not <Text>.
+            Triple(e(9), ORIGIN, DLC),
+            Triple(e(9), RECORDS, e(1)),
+            # q8: <conferences> shares object e7 with subject e5, and like
+            # any real catalog subject it carries a <type> triple — whose
+            # popular class object gives the object-object join of q8 a
+            # realistically sized result.
+            Triple(CONFERENCES, RECORDS, e(7)),
+            Triple(e(5), RECORDS, e(7)),
+            Triple(CONFERENCES, TYPE, NAMED_CLASSES[0]),
+        ]
+    )
+
+
+def _dedupe(triples):
+    seen = set()
+    unique = []
+    for t in triples:
+        key = t.as_tuple()
+        if key not in seen:
+            seen.add(key)
+            unique.append(t)
+    return unique

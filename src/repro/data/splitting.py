@@ -1,0 +1,106 @@
+"""Property splitting for the scale-up experiment (paper, Section 4.4).
+
+To study how the number of properties affects the storage schemes while
+keeping the number of triples fixed, the paper "split[s] in each round an
+arbitrary number of properties into n sub-properties, where n = 1..9.  The
+triples defined over the split properties are re-defined on one of the
+sub-properties following a uniform distribution."
+
+:func:`split_properties` implements that transform: it grows the property
+vocabulary of a dataset to a target size by splitting the most frequent
+properties into uniform sub-properties, renaming the affected triples.
+"""
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.model.triple import Triple
+
+
+def split_properties(triples, target_property_count, seed=0,
+                     protected=(), max_subproperties=10):
+    """Return a new triple list whose property vocabulary has the target size.
+
+    Properties are split most-frequent-first (splitting a frequent property
+    creates sub-properties that still carry data, as in the paper); each
+    split distributes the property's triples uniformly over its
+    sub-properties.  Properties named in *protected* (e.g. ``<type>`` — the
+    benchmark queries bind it) are never split.
+
+    Returns ``(new_triples, property_names)``.
+    """
+    counts = {}
+    for t in triples:
+        counts[t.p] = counts.get(t.p, 0) + 1
+    current = len(counts)
+    if target_property_count < current:
+        raise BenchmarkError(
+            f"cannot shrink properties: have {current}, asked for "
+            f"{target_property_count}"
+        )
+
+    protected = set(protected)
+    rng = np.random.default_rng(seed)
+    # Decide how many sub-properties each property is split into.
+    fan_out = {p: 1 for p in counts}
+    needed = target_property_count - current
+    by_frequency = sorted(
+        (p for p in counts if p not in protected),
+        key=lambda p: (-counts[p], p),
+    )
+    if not by_frequency and needed:
+        raise BenchmarkError("no splittable properties available")
+    def saturated(prop):
+        # A property cannot be split into more sub-properties than it has
+        # triples (an empty sub-property would not exist in the data).
+        return fan_out[prop] >= min(max_subproperties, counts[prop])
+
+    cursor = 0
+    while needed > 0:
+        prop = by_frequency[cursor % len(by_frequency)]
+        # Splitting into one more sub-property adds exactly one new property.
+        if not saturated(prop):
+            fan_out[prop] += 1
+            needed -= 1
+        elif all(saturated(p) for p in by_frequency):
+            raise BenchmarkError(
+                "target_property_count unreachable with "
+                f"max_subproperties={max_subproperties}"
+            )
+        cursor += 1
+
+    sub_names = {
+        p: ([p] if n == 1 else [_sub_name(p, i) for i in range(n)])
+        for p, n in fan_out.items()
+    }
+
+    # The first len(names) triples of a split property go round-robin to its
+    # sub-properties, guaranteeing every sub-property is non-empty; the rest
+    # follow the paper's uniform redistribution.
+    seen = {p: 0 for p in fan_out}
+    new_triples = []
+    for t in triples:
+        names = sub_names[t.p]
+        if len(names) == 1:
+            new_triples.append(t)
+            continue
+        index = seen[t.p]
+        seen[t.p] = index + 1
+        if index < len(names):
+            sub = names[index]
+        else:
+            sub = names[rng.integers(len(names))]
+        new_triples.append(Triple(t.s, sub, t.o))
+
+    new_properties = sorted({t.p for t in new_triples})
+    return new_triples, new_properties
+
+
+def _sub_name(prop, index):
+    """Name of the *index*-th sub-property of *prop*.
+
+    ``<records>`` splits into ``<records#0>``, ``<records#1>``, ...
+    """
+    if prop.endswith(">"):
+        return f"{prop[:-1]}#{index}>"
+    return f"{prop}#{index}"

@@ -1,0 +1,112 @@
+"""Dataset statistics: the paper's Table 1 and Figure 1.
+
+Table 1 reports counts over the Barton data set (total triples, distinct
+properties/subjects/objects, subject-object overlap, dictionary size, data
+set size); Figure 1 plots the cumulative frequency distribution of
+properties, subjects and objects over the total triple population.  Both are
+computed here for any list of triples.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dictionary import Dictionary
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The counters of the paper's Table 1."""
+
+    total_triples: int
+    distinct_properties: int
+    distinct_subjects: int
+    distinct_objects: int
+    subject_object_overlap: int
+    strings_in_dictionary: int
+    data_set_bytes: int
+
+    def rows(self):
+        """(label, value) rows in the order of the paper's Table 1."""
+        return [
+            ("total triples", self.total_triples),
+            ("distinct properties", self.distinct_properties),
+            ("distinct subjects", self.distinct_subjects),
+            ("distinct objects", self.distinct_objects),
+            (
+                "distinct subjects that appear also as objects (and vice versa)",
+                self.subject_object_overlap,
+            ),
+            ("strings in dictionary", self.strings_in_dictionary),
+            ("data set size (bytes)", self.data_set_bytes),
+        ]
+
+
+def compute_statistics(triples):
+    """Compute :class:`DatasetStatistics` over an iterable of triples."""
+    subjects = set()
+    properties = set()
+    objects = set()
+    dictionary = Dictionary()
+    count = 0
+    for t in triples:
+        count += 1
+        subjects.add(t.s)
+        properties.add(t.p)
+        objects.add(t.o)
+        dictionary.encode(t.s)
+        dictionary.encode(t.p)
+        dictionary.encode(t.o)
+    # The raw data set size: each triple is three dictionary oids (8 bytes
+    # each) plus the string heap itself — the same accounting the simulated
+    # disk layer uses.
+    data_set_bytes = count * 3 * 8 + dictionary.byte_size()
+    return DatasetStatistics(
+        total_triples=count,
+        distinct_properties=len(properties),
+        distinct_subjects=len(subjects),
+        distinct_objects=len(objects),
+        subject_object_overlap=len(subjects & objects),
+        strings_in_dictionary=len(dictionary),
+        data_set_bytes=data_set_bytes,
+    )
+
+
+def cumulative_distribution(counts):
+    """Cumulative frequency distribution of a ``{value: count}`` mapping.
+
+    Returns ``(x, y)`` arrays: ``x[i]`` is the percentage of distinct values
+    considered (most frequent first) and ``y[i]`` the percentage of the total
+    triple population they account for — exactly the axes of the paper's
+    Figure 1.
+    """
+    values = np.sort(np.fromiter(counts.values(), dtype=np.int64))[::-1]
+    if len(values) == 0:
+        return np.array([]), np.array([])
+    total = values.sum()
+    x = np.arange(1, len(values) + 1, dtype=np.float64) / len(values) * 100.0
+    y = np.cumsum(values) / total * 100.0
+    return x, y
+
+
+def frequency_table(triples, component):
+    """Frequency of each distinct value of *component* ('s', 'p' or 'o')."""
+    index = {"s": 0, "p": 1, "o": 2}[component]
+    counts = {}
+    for t in triples:
+        value = t[index]
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def top_share(counts, top_fraction):
+    """Share of the total carried by the most frequent *top_fraction* values.
+
+    ``top_share(property_counts, 0.13)`` reproduces the paper's "top 13% of
+    the total properties account for the 99% of all triples" check.
+    """
+    values = sorted(counts.values(), reverse=True)
+    if not values:
+        return 0.0
+    k = max(1, int(round(top_fraction * len(values))))
+    return sum(values[:k]) / sum(values)

@@ -1,0 +1,87 @@
+"""Zipfian and head/tail weight construction plus categorical sampling.
+
+The paper's Figure 1 shows a *very* steep property distribution: the top 13%
+of the 222 properties account for 99% of all triples, while the long tail has
+properties with "hardly any data associated" (many vertically-partitioned
+tables with fewer than 10 rows).  A pure Zipf law is not steep enough in the
+tail to reproduce this, so :func:`head_tail_weights` builds the distribution
+the way the paper describes it: a Zipfian head carrying a fixed mass and a
+geometrically decaying tail carrying the remainder.
+"""
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+
+def zipf_weights(n, exponent=1.0):
+    """Normalized Zipf weights ``w_k ~ 1/k^exponent`` for ranks 1..n."""
+    if n <= 0:
+        raise BenchmarkError("zipf_weights requires n >= 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-float(exponent)
+    return weights / weights.sum()
+
+def head_tail_weights(n, head_fraction=0.13, head_mass=0.99, head_exponent=1.05,
+                      tail_decay=0.97):
+    """Weights with a Zipfian head and a geometric tail.
+
+    * the first ``ceil(head_fraction * n)`` ranks follow a Zipf law with
+      ``head_exponent`` and jointly carry ``head_mass`` of the probability,
+    * the remaining ranks decay geometrically (ratio ``tail_decay``) and
+      carry ``1 - head_mass``.
+
+    With the defaults and n=222 this reproduces the paper's "top 13% of the
+    total properties account for the 99% of all triples".
+    """
+    if n <= 0:
+        raise BenchmarkError("head_tail_weights requires n >= 1")
+    if not 0 < head_fraction <= 1:
+        raise BenchmarkError("head_fraction must be in (0, 1]")
+    if not 0 < head_mass <= 1:
+        raise BenchmarkError("head_mass must be in (0, 1]")
+    n_head = max(1, int(np.ceil(head_fraction * n)))
+    n_head = min(n_head, n)
+    n_tail = n - n_head
+
+    head = zipf_weights(n_head, head_exponent)
+    if n_tail == 0:
+        return head
+
+    tail = tail_decay ** np.arange(n_tail, dtype=np.float64)
+    tail /= tail.sum()
+    return np.concatenate((head * head_mass, tail * (1.0 - head_mass)))
+
+
+def sample_by_weights(rng, weights, size):
+    """Draw ``size`` category indices according to *weights*.
+
+    A thin wrapper over :meth:`numpy.random.Generator.choice` that validates
+    its inputs and always returns an ``int64`` array.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or len(weights) == 0:
+        raise BenchmarkError("weights must be a non-empty 1-d array")
+    if np.any(weights < 0):
+        raise BenchmarkError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise BenchmarkError("weights must not all be zero")
+    return rng.choice(len(weights), size=size, p=weights / total).astype(np.int64)
+
+
+def apportion(total, weights):
+    """Split integer *total* into per-category counts proportional to weights.
+
+    Uses largest-remainder rounding so the counts sum exactly to *total* and
+    every category with positive weight gets at least the floor of its share.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    shares = weights / weights.sum() * total
+    counts = np.floor(shares).astype(np.int64)
+    remainder = int(total - counts.sum())
+    if remainder > 0:
+        fractional = shares - counts
+        top_up = np.argsort(-fractional)[:remainder]
+        counts[top_up] += 1
+    return counts

@@ -1,0 +1,13 @@
+"""String dictionary encoding.
+
+The paper (appendix) notes that "all strings are encoded on a dictionary
+structure" so that the benchmark queries operate on integer predicates.  Every
+engine in this reproduction shares the same dictionary abstraction: strings
+are mapped to dense integer object identifiers (oids) at load time and all
+query processing happens on integers; results are decoded back to strings at
+the very end.
+"""
+
+from repro.dictionary.dictionary import Dictionary, FrozenDictionary
+
+__all__ = ["Dictionary", "FrozenDictionary"]

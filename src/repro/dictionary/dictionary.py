@@ -1,0 +1,160 @@
+"""Bidirectional string <-> oid dictionary.
+
+The dictionary assigns dense, monotonically increasing integer oids to
+strings in first-seen order.  Dense oids matter: the engines store columns of
+oids in numpy integer arrays, and the statistics module sizes the simulated
+on-disk footprint from ``len(dictionary)``.
+
+Two flavours are provided:
+
+* :class:`Dictionary` -- mutable, used during data loading.
+* :class:`FrozenDictionary` -- immutable snapshot handed to engines, so a
+  running query can never accidentally grow the dictionary (lookups of
+  unknown strings are reported instead of silently interned).
+"""
+
+from repro.errors import DictionaryError
+
+
+class Dictionary:
+    """Mutable bidirectional mapping between strings and dense integer oids.
+
+    >>> d = Dictionary()
+    >>> d.encode("<type>")
+    0
+    >>> d.encode("<Text>")
+    1
+    >>> d.encode("<type>")          # idempotent
+    0
+    >>> d.decode(1)
+    '<Text>'
+    """
+
+    __slots__ = ("_by_string", "_by_oid")
+
+    def __init__(self, strings=()):
+        self._by_string = {}
+        self._by_oid = []
+        for s in strings:
+            self.encode(s)
+
+    def __len__(self):
+        return len(self._by_oid)
+
+    def __contains__(self, string):
+        return string in self._by_string
+
+    def __iter__(self):
+        """Iterate strings in oid order."""
+        return iter(self._by_oid)
+
+    def encode(self, string):
+        """Return the oid for *string*, interning it if new."""
+        if not isinstance(string, str):
+            raise DictionaryError(
+                f"dictionary keys must be str, got {type(string).__name__}"
+            )
+        oid = self._by_string.get(string)
+        if oid is None:
+            oid = len(self._by_oid)
+            self._by_string[string] = oid
+            self._by_oid.append(string)
+        return oid
+
+    def encode_many(self, strings):
+        """Encode an iterable of strings, returning a list of oids."""
+        return [self.encode(s) for s in strings]
+
+    def lookup(self, string):
+        """Return the oid for *string* without interning.
+
+        Raises :class:`DictionaryError` when the string is unknown.
+        """
+        oid = self._by_string.get(string)
+        if oid is None:
+            raise DictionaryError(f"string not in dictionary: {string!r}")
+        return oid
+
+    def lookup_or_none(self, string):
+        """Return the oid for *string*, or ``None`` when unknown.
+
+        Query constants that never appear in the data produce empty results
+        rather than errors; engines use this entry point for literals coming
+        from user queries.
+        """
+        return self._by_string.get(string)
+
+    def decode(self, oid):
+        """Return the string for *oid*."""
+        try:
+            return self._by_oid[self._index(oid)]
+        except IndexError:
+            raise DictionaryError(f"oid out of range: {oid}") from None
+
+    def decode_many(self, oids):
+        """Decode an iterable of oids, returning a list of strings."""
+        return [self.decode(o) for o in oids]
+
+    def freeze(self):
+        """Return an immutable :class:`FrozenDictionary` snapshot."""
+        return FrozenDictionary(self)
+
+    def byte_size(self):
+        """Approximate in-memory/on-disk footprint of the string heap.
+
+        Used by the simulated disk layer to size the dictionary segment.
+        """
+        # Per entry: the UTF-8 bytes plus an 8-byte offset-table slot.
+        return sum(len(s.encode("utf-8")) + 8 for s in self._by_oid)
+
+    @staticmethod
+    def _index(oid):
+        index = int(oid)
+        if index < 0:
+            raise DictionaryError(f"oid out of range: {oid}")
+        return index
+
+
+class FrozenDictionary:
+    """Immutable view over a :class:`Dictionary`.
+
+    Engines receive a frozen dictionary so that executing a query can never
+    mutate the string heap.  ``encode`` is intentionally absent; use
+    :meth:`lookup_or_none` for query constants.
+    """
+
+    __slots__ = ("_by_string", "_by_oid")
+
+    def __init__(self, source):
+        self._by_string = dict(source._by_string)
+        self._by_oid = tuple(source._by_oid)
+
+    def __len__(self):
+        return len(self._by_oid)
+
+    def __contains__(self, string):
+        return string in self._by_string
+
+    def __iter__(self):
+        return iter(self._by_oid)
+
+    def lookup(self, string):
+        oid = self._by_string.get(string)
+        if oid is None:
+            raise DictionaryError(f"string not in dictionary: {string!r}")
+        return oid
+
+    def lookup_or_none(self, string):
+        return self._by_string.get(string)
+
+    def decode(self, oid):
+        try:
+            return self._by_oid[Dictionary._index(oid)]
+        except IndexError:
+            raise DictionaryError(f"oid out of range: {oid}") from None
+
+    def decode_many(self, oids):
+        return [self.decode(o) for o in oids]
+
+    def byte_size(self):
+        return sum(len(s.encode("utf-8")) + 8 for s in self._by_oid)

@@ -1,0 +1,45 @@
+"""Simulated hardware substrate shared by all three engines.
+
+The paper reports *cold* and *hot* wall-clock ("real") and CPU ("user") times
+on two concrete machines (Table 3).  Absolute numbers are a property of the
+authors' testbed; what this reproduction must preserve is the *mechanics*
+that generate the paper's shapes:
+
+* cold runs pay for every byte pulled from disk; hot runs reuse the buffer
+  pool,
+* sequential scans run at the disk's bandwidth while scattered index reads
+  pay a per-request seek, so small synchronous requests (the C-Store replica)
+  cannot exploit a fast RAID (the paper's Figure 5 finding),
+* CPU time scales with per-tuple operator costs that differ between a
+  vectorized column-at-a-time engine and a tuple-at-a-time row engine.
+
+The layer therefore provides a byte-accurate simulated disk
+(:class:`~repro.engine.disk.SimulatedDisk`), an LRU buffer pool that accounts
+I/O time and records the Figure-5-style read history
+(:class:`~repro.engine.buffer.BufferPool`), machine profiles
+(:class:`~repro.engine.machine.MachineProfile`), and a deterministic query
+clock (:class:`~repro.engine.clock.QueryClock`).
+"""
+
+from repro.engine.machine import MachineProfile, MACHINE_A, MACHINE_B, MACHINE_C, MACHINES
+from repro.engine.disk import Segment, SimulatedDisk
+from repro.engine.clock import QueryClock, QueryTiming
+from repro.engine.buffer import BufferPool
+from repro.engine.cost import CostModel, COLUMN_STORE_COSTS, ROW_STORE_COSTS, CSTORE_COSTS
+
+__all__ = [
+    "MachineProfile",
+    "MACHINE_A",
+    "MACHINE_B",
+    "MACHINE_C",
+    "MACHINES",
+    "Segment",
+    "SimulatedDisk",
+    "QueryClock",
+    "QueryTiming",
+    "BufferPool",
+    "CostModel",
+    "COLUMN_STORE_COSTS",
+    "ROW_STORE_COSTS",
+    "CSTORE_COSTS",
+]

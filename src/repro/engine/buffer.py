@@ -1,0 +1,196 @@
+"""LRU buffer pool with I/O-time accounting.
+
+The buffer pool is the single place where simulated I/O happens.  Engines
+call :meth:`BufferPool.read` for every segment access; the pool works out
+which pages are missing, groups contiguous misses into disk requests, splits
+requests at the engine's request-size cap, and charges the query clock.
+
+The request-size cap is how the paper's C-Store finding is reproduced: an
+engine that issues small synchronous requests pays the per-request latency
+so often that the effective read rate is latency-bound and a 4x faster RAID
+array barely helps (Section 3, Figure 5).  Engines that scan sequentially
+with large requests run at the disk's sustained bandwidth.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import BufferPoolError
+
+#: Effective-bandwidth divisor for scattered (index-order) page reads: the
+#: same bytes stream at roughly a quarter of the sequential rate — the
+#: regime behind the paper's SPO-vs-PSO gap, where an unclustered index's
+#: heap fetches read the table at a fraction of what a clustered range scan
+#: achieves (Section 4.3: "DBX is spending half of the execution time
+#: waiting for the data to be retrieved from disk").
+SCATTERED_BANDWIDTH_PENALTY = 4.0
+
+
+class BufferPool:
+    """Page cache over a :class:`~repro.engine.disk.SimulatedDisk`."""
+
+    def __init__(self, disk, clock, capacity_bytes, max_run_bytes=None,
+                 sequential_coalescing=True):
+        if capacity_bytes < disk.page_size:
+            raise BufferPoolError("buffer pool smaller than one page")
+        self.disk = disk
+        self.clock = clock
+        self.page_size = disk.page_size
+        self.capacity_pages = capacity_bytes // disk.page_size
+        #: Largest number of bytes the engine fetches per disk request.
+        #: ``None`` means unbounded (one request per contiguous miss run).
+        self.max_run_bytes = max_run_bytes
+        #: When True, a read continuing exactly where the previous disk read
+        #: ended rides the OS readahead stream and pays no new seek.  The
+        #: C-Store replica turns this off: its synchronous request-at-a-time
+        #: I/O pays full latency per request (paper, Section 3 / Figure 5).
+        self.sequential_coalescing = sequential_coalescing
+        self._pages = OrderedDict()  # page_id -> True, LRU order
+        # Last page transferred from disk: a read continuing at the very
+        # next page is sequential (readahead) and pays no new seek.
+        self._last_disk_page = None
+
+    # ------------------------------------------------------------------
+    # cache state management (cold/hot protocol)
+    # ------------------------------------------------------------------
+
+    def clear(self):
+        """Drop every cached page: the benchmark's *cold* starting state."""
+        self._pages.clear()
+        self._last_disk_page = None
+
+    def resident_pages(self):
+        return len(self._pages)
+
+    def resident_bytes(self):
+        return len(self._pages) * self.page_size
+
+    def is_resident(self, segment, first_byte=0, nbytes=None):
+        """True when every page of the byte range is cached."""
+        start, end = segment.page_span(first_byte, nbytes)
+        return all(p in self._pages for p in range(start, end))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read(self, segment, first_byte=0, nbytes=None):
+        """Read a byte range of *segment*, charging I/O for page misses.
+
+        Returns the number of bytes actually transferred from disk (0 when
+        the range was fully cached).
+        """
+        start, end = segment.page_span(first_byte, nbytes)
+        miss_runs = self._collect_misses(start, end)
+        transferred = 0
+        n_requests = 0
+        for run_start, run_end in miss_runs:
+            run_bytes = (run_end - run_start) * self.page_size
+            transferred += run_bytes
+            n_requests += self._requests_for_run(run_bytes, run_start)
+            self._last_disk_page = run_end - 1
+        if transferred:
+            self.clock.charge_io(transferred, n_requests)
+        self._install(start, end)
+        return transferred
+
+    def read_segment(self, name_or_segment):
+        """Read a whole segment (a full column / table scan)."""
+        segment = self._resolve(name_or_segment)
+        return self.read(segment, 0, segment.nbytes)
+
+    def read_pages(self, segment, page_indices, scattered=False):
+        """Read pages of *segment* by number (index lookups, row fetches).
+
+        *page_indices* are segment-relative page numbers.  Contiguous runs
+        of missing pages still coalesce into single requests.  With
+        ``scattered=True`` the pages arrive in index order rather than disk
+        order, so the transfer pays the random-access bandwidth penalty.
+        """
+        base_page, end_page = segment.page_span()
+        unique = sorted(set(int(p) for p in page_indices))
+        if unique and (unique[0] < 0 or base_page + unique[-1] >= end_page):
+            raise BufferPoolError(
+                f"page index out of range for segment {segment.name!r}"
+            )
+        transferred = 0
+        n_requests = 0
+        run = []
+        for p in unique:
+            page = base_page + p
+            if page in self._pages:
+                self._pages.move_to_end(page)
+                continue
+            if run and page != run[-1] + 1:
+                transferred, n_requests = self._flush_run(
+                    run, transferred, n_requests
+                )
+                run = []
+            run.append(page)
+        if run:
+            transferred, n_requests = self._flush_run(run, transferred, n_requests)
+        if transferred:
+            penalty = SCATTERED_BANDWIDTH_PENALTY if scattered else 1.0
+            self.clock.charge_io(
+                transferred, n_requests, bandwidth_penalty=penalty
+            )
+        return transferred
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _resolve(self, name_or_segment):
+        if isinstance(name_or_segment, str):
+            return self.disk.segment(name_or_segment)
+        return name_or_segment
+
+    def _collect_misses(self, start, end):
+        """Contiguous runs of missing pages within [start, end)."""
+        runs = []
+        run_start = None
+        for page in range(start, end):
+            if page in self._pages:
+                self._pages.move_to_end(page)
+                if run_start is not None:
+                    runs.append((run_start, page))
+                    run_start = None
+            elif run_start is None:
+                run_start = page
+        if run_start is not None:
+            runs.append((run_start, end))
+        return runs
+
+    def _requests_for_run(self, run_bytes, run_start):
+        if self.max_run_bytes is None:
+            chunks = 1
+        else:
+            chunks = max(1, -(-run_bytes // self.max_run_bytes))
+        if (
+            self.sequential_coalescing
+            and self._last_disk_page is not None
+            and run_start == self._last_disk_page + 1
+        ):
+            # Sequential continuation: the disk head is already there.
+            chunks -= 1
+        return chunks
+
+    def _flush_run(self, run, transferred, n_requests):
+        run_bytes = len(run) * self.page_size
+        transferred += run_bytes
+        n_requests += self._requests_for_run(run_bytes, run[0])
+        self._last_disk_page = run[-1]
+        for page in run:
+            self._install_page(page)
+        return transferred, n_requests
+
+    def _install(self, start, end):
+        for page in range(start, end):
+            self._install_page(page)
+
+    def _install_page(self, page):
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return
+        while len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+        self._pages[page] = True

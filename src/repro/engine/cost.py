@@ -1,0 +1,129 @@
+"""Cost models: per-tuple CPU charges for each engine class.
+
+The absolute values are calibrated so that, on the synthetic dataset at
+default scale, the *relative* magnitudes of the paper's Tables 6/7 emerge:
+column-at-a-time operators are one to two orders of magnitude cheaper per
+value than tuple-at-a-time row operators, and every plan operator carries a
+fixed interpretation/optimization overhead — the term that makes
+vertically-partitioned queries with "more than two hundred unions and joins"
+expensive, especially on the row store (Section 4.2).
+
+All charges are seconds of CPU on the reference machine (machine A); the
+query clock scales them by the machine's ``cpu_scale``.
+"""
+
+from dataclasses import dataclass
+
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-unit CPU costs, in seconds."""
+
+    #: Producing one tuple/value from a base-table scan.
+    scan_tuple: float
+    #: Evaluating one selection predicate.
+    select_tuple: float
+    #: Inserting one tuple into a hash table (build side).
+    hash_build: float
+    #: Probing a hash table once.
+    hash_probe: float
+    #: One step of a merge join (comparison + possible emit).
+    merge_step: float
+    #: Updating one group aggregate.
+    group_tuple: float
+    #: One item movement in a sort (caller multiplies by log2 n).
+    sort_item: float
+    #: Appending one tuple to a union / materializing an intermediate tuple.
+    union_tuple: float
+    #: Emitting one result tuple to the client buffer.
+    output_tuple: float
+    #: Visiting one B+tree node during a descent.
+    btree_node: float
+    #: Fixed cost per physical plan operator (parse/optimize/instantiate).
+    plan_operator: float
+    #: Fixed cost per query (connection, parse, catalog lookups).
+    query_overhead: float
+    #: Superlinear optimizer charge: seconds per (operator count)^2.
+    #: This is the "generated plans might be sub-optimal due to the size of
+    #: the SQL statement" effect — full-scale vertically-partitioned
+    #: queries with hundreds of unions and joins choke the optimizer
+    #: (paper, Section 4.2).
+    plan_quadratic: float = 0.0
+
+    def scaled(self, data_scale):
+        """Costs for a 1:N scale model (see MachineProfile.scaled).
+
+        Per-tuple costs shrink with the data on their own; the fixed
+        per-query and per-operator charges are scaled explicitly so every
+        term of the simulated time relates to paper scale by the same
+        factor.
+        """
+        import dataclasses
+
+        if not 0 < data_scale <= 1:
+            raise ValueError("data_scale must be in (0, 1]")
+        return dataclasses.replace(
+            self,
+            plan_operator=self.plan_operator * data_scale,
+            query_overhead=self.query_overhead * data_scale,
+            plan_quadratic=self.plan_quadratic * data_scale,
+        )
+
+
+#: MonetDB-like column-at-a-time engine: vectorized primitives, tiny
+#: per-value cost, modest per-operator interpretation overhead.
+COLUMN_STORE_COSTS = CostModel(
+    scan_tuple=8 * NANO,
+    select_tuple=6 * NANO,
+    hash_build=45 * NANO,
+    hash_probe=30 * NANO,
+    merge_step=12 * NANO,
+    group_tuple=35 * NANO,
+    sort_item=25 * NANO,
+    union_tuple=10 * NANO,
+    output_tuple=40 * NANO,
+    btree_node=0.0,  # MonetDB/SQL has no user-defined B+trees (Section 4.1)
+    plan_operator=0.35 * MILLI,
+    query_overhead=2 * MILLI,
+    plan_quadratic=1.5 * MICRO,
+)
+
+#: Commercial row-store "DBX": tuple-at-a-time iterators, B+tree access
+#: paths, a heavyweight optimizer (expensive per-operator setup).
+ROW_STORE_COSTS = CostModel(
+    scan_tuple=60 * NANO,
+    select_tuple=25 * NANO,
+    hash_build=250 * NANO,
+    hash_probe=150 * NANO,
+    merge_step=120 * NANO,
+    group_tuple=70 * NANO,
+    sort_item=150 * NANO,
+    union_tuple=200 * NANO,
+    output_tuple=150 * NANO,
+    btree_node=400 * NANO,
+    plan_operator=1.5 * MILLI,
+    query_overhead=5 * MILLI,
+    plan_quadratic=35 * MICRO,
+)
+
+#: C-Store replica: column costs without a SQL layer (hard-wired plans have
+#: no per-operator optimization charge) but an early-stage executor whose
+#: joins and aggregations are less tuned than MonetDB's.
+CSTORE_COSTS = CostModel(
+    scan_tuple=7 * NANO,
+    select_tuple=6 * NANO,
+    hash_build=80 * NANO,
+    hash_probe=60 * NANO,
+    merge_step=10 * NANO,
+    group_tuple=70 * NANO,
+    sort_item=30 * NANO,
+    union_tuple=15 * NANO,
+    output_tuple=40 * NANO,
+    btree_node=300 * NANO,  # BerkeleyDB access beneath the columns
+    plan_operator=0.0,
+    query_overhead=1 * MILLI,
+)

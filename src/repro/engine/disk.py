@@ -1,0 +1,108 @@
+"""Byte-accurate simulated disk.
+
+The disk is a catalog of named :class:`Segment` objects — contiguous byte
+regions standing for the persistent representation of a column, a heap file,
+a B+tree, or the string dictionary.  Engines declare segments at load time
+(sized from real array/byte sizes) and later *read* from them through a
+:class:`~repro.engine.buffer.BufferPool`, which is where I/O time is
+accounted.
+
+Pages are the unit of caching.  Page identity is global: segment base
+offsets are laid out back-to-back, so a page id uniquely identifies a page
+across the whole database.
+"""
+
+from repro.errors import BufferPoolError
+
+DEFAULT_PAGE_SIZE = 8192
+
+
+class Segment:
+    """A named contiguous on-disk byte region."""
+
+    __slots__ = ("name", "nbytes", "base", "page_size")
+
+    def __init__(self, name, nbytes, base, page_size):
+        self.name = name
+        self.nbytes = int(nbytes)
+        self.base = int(base)
+        self.page_size = page_size
+
+    def __repr__(self):
+        return f"Segment({self.name!r}, nbytes={self.nbytes})"
+
+    def page_span(self, first_byte=0, nbytes=None):
+        """The inclusive-exclusive global page-id range covering the bytes."""
+        if nbytes is None:
+            nbytes = self.nbytes - first_byte
+        if first_byte < 0 or nbytes < 0 or first_byte + nbytes > self.nbytes:
+            raise BufferPoolError(
+                f"read outside segment {self.name!r}: "
+                f"offset={first_byte} nbytes={nbytes} size={self.nbytes}"
+            )
+        if nbytes == 0:
+            return (0, 0)
+        start = (self.base + first_byte) // self.page_size
+        end = (self.base + first_byte + nbytes - 1) // self.page_size + 1
+        return (start, end)
+
+    def num_pages(self):
+        start, end = self.page_span()
+        return end - start
+
+
+class SimulatedDisk:
+    """Catalog of segments with back-to-back page layout."""
+
+    def __init__(self, page_size=DEFAULT_PAGE_SIZE):
+        if page_size <= 0:
+            raise BufferPoolError("page_size must be positive")
+        self.page_size = page_size
+        self._segments = {}
+        self._next_base = 0
+
+    def __contains__(self, name):
+        return name in self._segments
+
+    def __len__(self):
+        return len(self._segments)
+
+    def segments(self):
+        return list(self._segments.values())
+
+    def create_segment(self, name, nbytes):
+        """Register a new segment of *nbytes*; returns it.
+
+        Segment starts are page-aligned so two segments never share a page
+        (reading one column must not make a neighbour column hot for free).
+        """
+        if name in self._segments:
+            raise BufferPoolError(f"segment already exists: {name!r}")
+        if nbytes < 0:
+            raise BufferPoolError("segment size must be non-negative")
+        segment = Segment(name, nbytes, self._next_base, self.page_size)
+        pages = max(1, -(-int(nbytes) // self.page_size))
+        self._next_base += pages * self.page_size
+        self._segments[name] = segment
+        return segment
+
+    def segment(self, name):
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise BufferPoolError(f"no such segment: {name!r}") from None
+
+    def drop_segment(self, name):
+        """Forget a segment (its name becomes reusable).
+
+        The simulated address space is not compacted — like a real file
+        system, freed extents are simply no longer referenced; fresh
+        segments are appended at the end.
+        """
+        if name not in self._segments:
+            raise BufferPoolError(f"no such segment: {name!r}")
+        del self._segments[name]
+
+    def total_bytes(self):
+        """Total on-disk footprint (the paper's "database size on disk")."""
+        return sum(s.nbytes for s in self._segments.values())

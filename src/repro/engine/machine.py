@@ -1,0 +1,146 @@
+"""Machine profiles (the paper's Table 3).
+
+A :class:`MachineProfile` carries the parameters the cost clock needs
+(CPU speed scale, disk bandwidth, per-request latency, RAM) plus the
+descriptive fields of Table 3 so the benchmark harness can print the table.
+
+The paper's machines:
+
+* **A** — 1x AMD Athlon 64 dual core 2 GHz, 2 GB RAM, 2-disk RAID-0 reading
+  100-110 MB/s,
+* **B** — 2x Intel Xeon hyperthreaded 3 GHz, 4 GB RAM, 10-disk RAID-5
+  reading 380-390 MB/s,
+* **C** — the machine of the original VLDB 2007 paper: Pentium IV 3 GHz,
+  2 GB RAM, 3-disk RAID-0 reading 150-180 MB/s.
+
+The paper observes that despite B's higher clock speed its *user* times are
+slightly higher than A's (the C-Store binary runs more efficiently on the
+AMD core); we encode that as ``cpu_scale`` slightly above 1 for B.
+"""
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Hardware parameters driving the simulated query clock."""
+
+    name: str
+    num_cpus: int
+    cpu_model: str
+    cpu_ghz: float
+    cache_kb: int
+    ram_bytes: int
+    read_bandwidth: float  # bytes/second, sustained sequential
+    request_latency: float  # seconds per discontiguous I/O request (seek)
+    raid_disks: int
+    raid_level: int
+    operating_system: str
+    #: Multiplier on CPU cost relative to the reference machine (A == 1.0).
+    cpu_scale: float = 1.0
+
+    def effective_bandwidth(self, request_bytes):
+        """Sustained read rate of an engine issuing synchronous requests of
+        *request_bytes*: each request pays the seek plus the transfer.
+
+        This is how the C-Store replica's small-read behaviour is carried
+        into the scale model: 64 KB requests turn a 105-385 MB/s array into
+        a ~14-15 MB/s reader on either machine (paper, Section 3).
+        """
+        seconds_per_request = (
+            self.request_latency + request_bytes / self.read_bandwidth
+        )
+        return request_bytes / seconds_per_request
+
+    def with_read_bandwidth(self, bandwidth):
+        """A copy whose sustained read rate is *bandwidth* bytes/second."""
+        import dataclasses
+
+        return dataclasses.replace(self, read_bandwidth=bandwidth)
+
+    def scaled(self, data_scale):
+        """A profile for running a 1:N scale model of the paper's dataset.
+
+        The synthetic dataset is *data_scale* times the size of the 50M
+        Barton dump (e.g. 0.002 for 100k triples).  Per-tuple work shrinks
+        with the data by itself; the *fixed* per-request disk latency must
+        shrink by the same factor, or seeks would dominate the scale model
+        in a way they do not dominate the real system.  Simulated times then
+        relate to paper-scale times by exactly ``data_scale``, so dividing
+        by it yields directly comparable "scaled seconds".
+        """
+        import dataclasses
+
+        if not 0 < data_scale <= 1:
+            raise ValueError("data_scale must be in (0, 1]")
+        return dataclasses.replace(
+            self, request_latency=self.request_latency * data_scale
+        )
+
+    def table3_row(self):
+        """The descriptive fields, in the order of the paper's Table 3."""
+        return {
+            "Machine": self.name,
+            "Num. of CPU": self.num_cpus,
+            "CPU": self.cpu_model,
+            "CPU speed": f"{self.cpu_ghz:g} GHz",
+            "cache size": f"{self.cache_kb} KB",
+            "RAM size": f"{self.ram_bytes // GB} GB",
+            "I/O read": f"{self.read_bandwidth / MB:.0f} MB/s",
+            "RAID disks": self.raid_disks,
+            "RAID level": self.raid_level,
+            "Operating System": self.operating_system,
+        }
+
+
+MACHINE_A = MachineProfile(
+    name="A",
+    num_cpus=1,
+    cpu_model="AMD Athlon 64 Dual Core",
+    cpu_ghz=2.0,
+    cache_kb=512,
+    ram_bytes=2 * GB,
+    read_bandwidth=105 * MB,
+    request_latency=0.004,
+    raid_disks=2,
+    raid_level=0,
+    operating_system="Fedora 8 (Linux 2.6.22)",
+    cpu_scale=1.0,
+)
+
+MACHINE_B = MachineProfile(
+    name="B",
+    num_cpus=2,
+    cpu_model="Intel Xeon Hyperthreaded",
+    cpu_ghz=3.0,
+    cache_kb=1024,
+    ram_bytes=4 * GB,
+    read_bandwidth=385 * MB,
+    request_latency=0.004,
+    raid_disks=10,
+    raid_level=5,
+    operating_system="Fedora Core 6 (Linux 2.6.23)",
+    # The paper: "the user times on both machines are very similar. In fact,
+    # they are slightly higher on machine B" — the binary runs better on AMD.
+    cpu_scale=1.04,
+)
+
+MACHINE_C = MachineProfile(
+    name="C",
+    num_cpus=1,
+    cpu_model="Intel Pentium IV",
+    cpu_ghz=3.0,
+    cache_kb=1024,
+    ram_bytes=2 * GB,
+    read_bandwidth=165 * MB,
+    request_latency=0.005,
+    raid_disks=3,
+    raid_level=0,
+    operating_system="RedHat Linux",
+    cpu_scale=1.10,
+)
+
+MACHINES = {"A": MACHINE_A, "B": MACHINE_B, "C": MACHINE_C}

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Each substrate raises the most specific subclass it can; callers that only
+want to know "did the RDF stack fail" can catch :class:`ReproError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DictionaryError(ReproError):
+    """A string dictionary lookup or insertion failed."""
+
+
+class ParseError(ReproError):
+    """Malformed input text (N-Triples data or SQL)."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SQLError(ParseError):
+    """Malformed or unsupported SQL text."""
+
+
+class PlanError(ReproError):
+    """A logical plan could not be built or bound to a schema."""
+
+
+class StorageError(ReproError):
+    """A storage scheme was asked for something it cannot represent."""
+
+
+class EngineError(ReproError):
+    """A query engine failed while executing a physical plan."""
+
+
+class UnsupportedOperationError(EngineError):
+    """The engine does not implement the requested operation.
+
+    Used notably by the C-Store replica, which (like the artifact studied in
+    the paper) only ships hard-wired plans for q1-q7 over the
+    vertically-partitioned storage scheme.
+    """
+
+
+class BufferPoolError(EngineError):
+    """The simulated buffer pool was used incorrectly."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment was configured inconsistently."""

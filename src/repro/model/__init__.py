@@ -1,0 +1,44 @@
+"""RDF data model: terms, triples, graphs, and the query design space.
+
+This package implements the data-model layer the paper's Section 2 reasons
+about: triples ``(s, p, o)``, the eight simple triple query patterns p1-p8,
+the three join patterns A/B/C, and a naive in-memory graph used both as a
+loading intermediary and as the *reference evaluator* that every engine is
+tested against.
+"""
+
+from repro.model.triple import Triple, Variable, is_variable
+from repro.model.graph import RDFGraph
+from repro.model.parser import (
+    parse_ntriples,
+    parse_ntriples_file,
+    parse_ntriples_text,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.model.patterns import (
+    TriplePattern,
+    JoinPattern,
+    JOIN_PATTERNS,
+    SIMPLE_PATTERNS,
+    classify_pattern,
+    classify_join,
+)
+
+__all__ = [
+    "Triple",
+    "Variable",
+    "is_variable",
+    "RDFGraph",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "parse_ntriples_text",
+    "serialize_ntriples",
+    "write_ntriples_file",
+    "TriplePattern",
+    "JoinPattern",
+    "JOIN_PATTERNS",
+    "SIMPLE_PATTERNS",
+    "classify_pattern",
+    "classify_join",
+]

@@ -1,0 +1,156 @@
+"""In-memory RDF graph with naive-but-correct pattern matching.
+
+:class:`RDFGraph` is *not* one of the engines under evaluation.  It is the
+loading intermediary and, above all, the **reference evaluator**: the
+integration tests run every benchmark query against it with straightforward
+nested-loop semantics and require each engine to return the same result set.
+"""
+
+from collections import defaultdict
+
+from repro.model.triple import Triple, is_variable
+
+
+class RDFGraph:
+    """A set of triples with hash indexes on each component.
+
+    The indexes (by subject, by property, by object) make single-pattern
+    lookups fast enough to use as a test oracle on datasets of a few hundred
+    thousand triples.
+    """
+
+    def __init__(self, triples=()):
+        self._triples = []
+        self._by_s = defaultdict(list)
+        self._by_p = defaultdict(list)
+        self._by_o = defaultdict(list)
+        self._seen = set()
+        for t in triples:
+            self.add(t)
+
+    def __len__(self):
+        return len(self._triples)
+
+    def __iter__(self):
+        return iter(self._triples)
+
+    def __contains__(self, triple):
+        if isinstance(triple, tuple):
+            triple = Triple(*triple)
+        return triple.as_tuple() in self._seen
+
+    def add(self, triple):
+        """Add a triple (tuples are accepted); duplicates are ignored.
+
+        RDF graphs are sets of statements, so a duplicate insert is a no-op.
+        Returns True when the triple was new.
+        """
+        if isinstance(triple, tuple):
+            triple = Triple(*triple)
+        key = triple.as_tuple()
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._triples.append(triple)
+        self._by_s[triple.s].append(triple)
+        self._by_p[triple.p].append(triple)
+        self._by_o[triple.o].append(triple)
+        return True
+
+    def extend(self, triples):
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    # ------------------------------------------------------------------
+    # statistics used by repro.data.stats
+    # ------------------------------------------------------------------
+
+    def subjects(self):
+        """Distinct subjects."""
+        return self._by_s.keys()
+
+    def properties(self):
+        """Distinct properties."""
+        return self._by_p.keys()
+
+    def objects(self):
+        """Distinct objects."""
+        return self._by_o.keys()
+
+    def property_counts(self):
+        """Mapping property -> number of triples carrying it."""
+        return {p: len(ts) for p, ts in self._by_p.items()}
+
+    def subject_counts(self):
+        return {s: len(ts) for s, ts in self._by_s.items()}
+
+    def object_counts(self):
+        return {o: len(ts) for o, ts in self._by_o.items()}
+
+    # ------------------------------------------------------------------
+    # pattern matching (reference semantics)
+    # ------------------------------------------------------------------
+
+    def match(self, s=None, p=None, o=None):
+        """Yield triples matching the given constants.
+
+        ``None`` (or a :class:`~repro.model.triple.Variable`) means
+        unconstrained.  The most selective available index is used.
+        """
+        s = None if is_variable(s) else s
+        p = None if is_variable(p) else p
+        o = None if is_variable(o) else o
+
+        candidates = self._candidates(s, p, o)
+        for t in candidates:
+            if s is not None and t.s != s:
+                continue
+            if p is not None and t.p != p:
+                continue
+            if o is not None and t.o != o:
+                continue
+            yield t
+
+    def _candidates(self, s, p, o):
+        pools = []
+        if s is not None:
+            pools.append(self._by_s.get(s, ()))
+        if p is not None:
+            pools.append(self._by_p.get(p, ()))
+        if o is not None:
+            pools.append(self._by_o.get(o, ()))
+        if not pools:
+            return self._triples
+        return min(pools, key=len)
+
+    def solve(self, patterns):
+        """Evaluate a conjunction of triple patterns, returning bindings.
+
+        *patterns* is a sequence of ``(s, p, o)`` items whose components are
+        constants or :class:`Variable` instances.  Returns a list of
+        ``{variable_name: value}`` dicts — one per solution, with duplicates
+        preserved (bag semantics, matching SQL).
+        """
+        solutions = [{}]
+        for pattern in patterns:
+            solutions = list(self._extend_solutions(solutions, pattern))
+        return solutions
+
+    def _extend_solutions(self, solutions, pattern):
+        s, p, o = pattern
+        for binding in solutions:
+            bound = [
+                binding.get(t.name) if is_variable(t) else t for t in (s, p, o)
+            ]
+            for t in self.match(*bound):
+                new_binding = dict(binding)
+                ok = True
+                for term, value in zip((s, p, o), (t.s, t.p, t.o)):
+                    if is_variable(term):
+                        existing = new_binding.get(term.name)
+                        if existing is not None and existing != value:
+                            ok = False
+                            break
+                        new_binding[term.name] = value
+                if ok:
+                    yield new_binding

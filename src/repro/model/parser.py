@@ -1,0 +1,101 @@
+"""A small N-Triples-style parser and serializer.
+
+The Barton Libraries dump the paper uses is distributed as N-Triples.  This
+module implements the subset needed for the reproduction:
+
+* one triple per line: ``<subject> <property> <object> .`` or
+  ``<subject> <property> "literal" .``
+* ``#`` comment lines and blank lines are skipped,
+* literals may contain escaped quotes (``\\"``) and backslashes.
+
+Terms keep their surface syntax (angle brackets / quotes) as part of the
+string, matching the paper's convention of writing constants like
+``'<type>'`` and ``'"end"'`` in the benchmark SQL.
+"""
+
+from repro.errors import ParseError
+from repro.model.triple import Triple
+
+
+def parse_ntriples(lines):
+    """Yield :class:`Triple` objects from an iterable of N-Triples lines."""
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(line, lineno)
+
+
+def parse_ntriples_text(text):
+    """Parse a complete N-Triples document, returning a list of triples."""
+    return list(parse_ntriples(text.splitlines()))
+
+
+def serialize_ntriples(triples):
+    """Render an iterable of triples back to N-Triples text."""
+    return "".join(f"{t.s} {t.p} {t.o} .\n" for t in triples)
+
+
+def parse_ntriples_file(path):
+    """Parse an N-Triples file (``.gz`` paths are decompressed on the fly).
+
+    Returns a list of triples; parsing streams line by line, so large dumps
+    never hold two representations in memory at once.
+    """
+    import gzip
+
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        return list(parse_ntriples(handle))
+
+
+def write_ntriples_file(triples, path):
+    """Write triples to an N-Triples file (``.gz`` paths are compressed)."""
+    import gzip
+
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "wt", encoding="utf-8") as handle:
+        for t in triples:
+            handle.write(f"{t.s} {t.p} {t.o} .\n")
+
+
+def _parse_line(line, lineno):
+    terms = []
+    pos = 0
+    length = len(line)
+    while pos < length and len(terms) < 3:
+        ch = line[pos]
+        if ch == " " or ch == "\t":
+            pos += 1
+        elif ch == "<":
+            end = line.find(">", pos)
+            if end < 0:
+                raise ParseError("unterminated IRI", line=lineno, column=pos + 1)
+            terms.append(line[pos : end + 1])
+            pos = end + 1
+        elif ch == '"':
+            end = _scan_literal(line, pos, lineno)
+            terms.append(line[pos : end + 1])
+            pos = end + 1
+        else:
+            raise ParseError(
+                f"unexpected character {ch!r}", line=lineno, column=pos + 1
+            )
+    rest = line[pos:].strip()
+    if len(terms) != 3 or rest != ".":
+        raise ParseError("expected '<s> <p> <o> .'", line=lineno)
+    return Triple(*terms)
+
+
+def _scan_literal(line, start, lineno):
+    """Return the index of the closing quote of a literal starting at *start*."""
+    pos = start + 1
+    while pos < len(line):
+        ch = line[pos]
+        if ch == "\\":
+            pos += 2
+            continue
+        if ch == '"':
+            return pos
+        pos += 1
+    raise ParseError("unterminated literal", line=lineno, column=start + 1)

@@ -1,0 +1,206 @@
+"""The RDF query design space of the paper's Section 2.2 (Figure 2, Table 2).
+
+A *simple triple query pattern* is a triple where any component may be a
+variable; there are 8 combinations, named p1..p8:
+
+====  ==============
+name  pattern
+====  ==============
+p1    (s, p, o)
+p2    (?s, p, o)
+p3    (s, ?p, o)
+p4    (s, p, ?o)
+p5    (?s, ?p, o)
+p6    (s, ?p, ?o)
+p7    (?s, p, ?o)
+p8    (?s, ?p, ?o)
+====  ==============
+
+Two patterns can be joined by equating components.  The three join patterns
+the paper singles out (they form the RDF data graph):
+
+* **A** — subject/subject join (``s = s'``),
+* **B** — object/object join (``o = o'``),
+* **C** — object/subject join (``o = s'`` or ``s = o'``).
+
+This module classifies patterns and whole queries, and regenerates the
+paper's Table 2 coverage matrix from the benchmark query definitions.
+"""
+
+from repro.model.triple import is_variable
+
+#: Canonical names of the 8 simple patterns keyed by the bound-mask
+#: ``(s_bound, p_bound, o_bound)``.
+_PATTERN_BY_MASK = {
+    (True, True, True): "p1",
+    (False, True, True): "p2",
+    (True, False, True): "p3",
+    (True, True, False): "p4",
+    (False, False, True): "p5",
+    (True, False, False): "p6",
+    (False, True, False): "p7",
+    (False, False, False): "p8",
+}
+
+#: The 8 simple patterns in canonical order, as (name, mask) pairs.
+SIMPLE_PATTERNS = sorted(
+    ((name, mask) for mask, name in _PATTERN_BY_MASK.items()),
+    key=lambda item: item[0],
+)
+
+#: Join pattern names with a human description (paper, Figure 2 right table).
+JOIN_PATTERNS = {
+    "A": "join on the subjects of two triples (s = s')",
+    "B": "join on the objects of two triples (o = o')",
+    "C": "join on the object of one triple and the subject of the other",
+}
+
+
+class TriplePattern:
+    """A triple pattern with constants and variables.
+
+    >>> from repro.model import Variable
+    >>> TriplePattern(Variable("s"), "<type>", Variable("o")).simple_class()
+    'p7'
+    """
+
+    __slots__ = ("s", "p", "o")
+
+    def __init__(self, s, p, o):
+        self.s = s
+        self.p = p
+        self.o = o
+
+    def __iter__(self):
+        yield self.s
+        yield self.p
+        yield self.o
+
+    def __repr__(self):
+        return f"TriplePattern({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def bound_mask(self):
+        """``(s_bound, p_bound, o_bound)`` booleans."""
+        return tuple(not is_variable(t) for t in self)
+
+    def simple_class(self):
+        """The p1..p8 name of this pattern."""
+        return _PATTERN_BY_MASK[self.bound_mask()]
+
+    def variables(self):
+        """The set of variable names this pattern mentions."""
+        return {t.name for t in self if is_variable(t)}
+
+
+class JoinPattern:
+    """An equality join between components of two triple patterns.
+
+    *left* and *right* are component names, each one of ``"s"``, ``"p"``,
+    ``"o"``, describing which component of the first and second pattern are
+    equated.
+    """
+
+    __slots__ = ("left", "right")
+
+    _COMPONENTS = ("s", "p", "o")
+
+    def __init__(self, left, right):
+        if left not in self._COMPONENTS or right not in self._COMPONENTS:
+            raise ValueError("join components must be one of 's', 'p', 'o'")
+        self.left = left
+        self.right = right
+
+    def __repr__(self):
+        return f"JoinPattern({self.left!r}, {self.right!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, JoinPattern)
+            and {self.left, self.right} == {other.left, other.right}
+            and sorted((self.left, self.right))
+            == sorted((other.left, other.right))
+        )
+
+    def __hash__(self):
+        return hash(("JoinPattern", tuple(sorted((self.left, self.right)))))
+
+    def classify(self):
+        """Classify as join pattern 'A', 'B', 'C', or None for the
+        RDF-Schema-level joins (s=p', o=p', ...) the paper sets aside."""
+        pair = frozenset((self.left, self.right))
+        if pair == frozenset(("s",)):
+            return "A"
+        if pair == frozenset(("o",)):
+            return "B"
+        if pair == frozenset(("s", "o")):
+            return "C"
+        return None
+
+
+def classify_pattern(pattern):
+    """Return the p1..p8 class of a pattern-like ``(s, p, o)`` object."""
+    if not isinstance(pattern, TriplePattern):
+        pattern = TriplePattern(*pattern)
+    return pattern.simple_class()
+
+
+def classify_join(patterns, shared_variable):
+    """Classify the join realized by *shared_variable* across *patterns*.
+
+    Returns the set of join-pattern names ('A', 'B', 'C') induced by the
+    variable appearing in multiple patterns, considering every pair of
+    occurrences.
+    """
+    occurrences = []
+    for pat in patterns:
+        if not isinstance(pat, TriplePattern):
+            pat = TriplePattern(*pat)
+        for component, term in zip(("s", "p", "o"), pat):
+            if is_variable(term) and term.name == shared_variable:
+                occurrences.append(component)
+    classes = set()
+    for i in range(len(occurrences)):
+        for j in range(i + 1, len(occurrences)):
+            cls = JoinPattern(occurrences[i], occurrences[j]).classify()
+            if cls is not None:
+                classes.add(cls)
+    return classes
+
+
+def query_coverage(patterns, join_variables=None):
+    """Compute the (triple-pattern, join-pattern) coverage of a query.
+
+    *patterns* is a sequence of triple patterns; *join_variables* restricts
+    which variables are treated as join variables (default: every variable
+    appearing in two or more patterns).
+
+    Returns ``(triple_classes, join_classes)`` — two sorted lists, directly
+    comparable against the rows of the paper's Table 2.
+    """
+    patterns = [
+        p if isinstance(p, TriplePattern) else TriplePattern(*p) for p in patterns
+    ]
+    triple_classes = sorted({p.simple_class() for p in patterns})
+
+    if join_variables is None:
+        counts = {}
+        for p in patterns:
+            for name in p.variables():
+                counts[name] = counts.get(name, 0) + 1
+        join_variables = {name for name, n in counts.items() if n >= 2}
+
+    join_classes = set()
+    for name in join_variables:
+        join_classes |= classify_join(patterns, name)
+    return triple_classes, sorted(join_classes)
+
+
+def design_space_size():
+    """Total number of simplest two-pattern join queries (paper: 2^4 x 6^2... ).
+
+    The paper counts: 6 ways to equate components of two triples, and for
+    each combination 4 remaining terms that are either a target variable or a
+    constant, i.e. ``2**4 * 6**2`` patterns "to consider for even the
+    simplest queries".  We expose the same arithmetic for the docs/tests.
+    """
+    return (2**4) * (6**2)

@@ -1,0 +1,80 @@
+"""Triples and variables.
+
+A triple is a statement about a subject ``s`` that has a property ``p`` whose
+value is an object ``o`` (paper, Section 2.2).  Terms are plain strings;
+variables are :class:`Variable` instances (conventionally written ``?s``,
+``?p``, ``?o``).
+"""
+
+
+class Variable:
+    """A query variable, e.g. ``Variable("s")`` rendered as ``?s``.
+
+    Variables are compared by name so that two patterns mentioning ``?x``
+    refer to the same binding slot.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not name or not isinstance(name, str):
+            raise ValueError("variable name must be a non-empty string")
+        self.name = name.lstrip("?")
+
+    def __repr__(self):
+        return f"?{self.name}"
+
+    def __eq__(self, other):
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Variable", self.name))
+
+
+def is_variable(term):
+    """True when *term* is a query variable rather than a constant."""
+    return isinstance(term, Variable)
+
+
+class Triple:
+    """An immutable ``(subject, property, object)`` statement.
+
+    The three components are exposed as ``s``, ``p`` and ``o`` and the triple
+    behaves like a 3-tuple (iteration, indexing, equality), which keeps the
+    loaders and the reference evaluator simple.
+    """
+
+    __slots__ = ("s", "p", "o")
+
+    def __init__(self, s, p, o):
+        self.s = s
+        self.p = p
+        self.o = o
+
+    def __iter__(self):
+        yield self.s
+        yield self.p
+        yield self.o
+
+    def __getitem__(self, index):
+        return (self.s, self.p, self.o)[index]
+
+    def __len__(self):
+        return 3
+
+    def __eq__(self, other):
+        if isinstance(other, Triple):
+            return (self.s, self.p, self.o) == (other.s, other.p, other.o)
+        if isinstance(other, tuple):
+            return (self.s, self.p, self.o) == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.s, self.p, self.o))
+
+    def __repr__(self):
+        return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def as_tuple(self):
+        """Return the triple as a plain ``(s, p, o)`` tuple."""
+        return (self.s, self.p, self.o)

@@ -1,0 +1,48 @@
+"""Engine-neutral logical query plans.
+
+The benchmark queries are expressed once as logical plans (either built
+programmatically by :mod:`repro.queries` or lowered from SQL text by
+:mod:`repro.sql`) and executed by any engine.  The algebra is the fragment
+the paper's appendix SQL needs: scans with aliases, conjunctive
+selections, equi-joins, projection, grouping with ``count(*)``, ``HAVING``,
+``UNION [ALL]`` and ``DISTINCT``.
+"""
+
+from repro.plan.predicates import ColumnComparison, Comparison, EQ, NE
+from repro.plan.logical import (
+    Distinct,
+    Extend,
+    GroupBy,
+    Having,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Union,
+    walk,
+    count_operators,
+)
+
+__all__ = [
+    "ColumnComparison",
+    "Comparison",
+    "EQ",
+    "NE",
+    "LogicalPlan",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "GroupBy",
+    "Having",
+    "Union",
+    "Distinct",
+    "Extend",
+    "Sort",
+    "Limit",
+    "walk",
+    "count_operators",
+]

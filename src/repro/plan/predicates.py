@@ -1,0 +1,118 @@
+"""Scalar comparison predicates used in selections and HAVING clauses."""
+
+from repro.errors import PlanError
+
+EQ = "="
+NE = "!="
+LT = "<"
+LE = "<="
+GT = ">"
+GE = ">="
+
+_OPERATORS = {EQ, NE, LT, LE, GT, GE}
+
+_PYTHON_OPS = {
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+    LT: lambda a, b: a < b,
+    LE: lambda a, b: a <= b,
+    GT: lambda a, b: a > b,
+    GE: lambda a, b: a >= b,
+}
+
+
+class Comparison:
+    """``column <op> value`` where *value* is an integer constant.
+
+    Constants are dictionary oids for data columns, or plain integers for
+    aggregate outputs (``HAVING count(*) > 1``).  A ``value`` of ``None``
+    marks a constant that did not resolve in the dictionary: the predicate
+    is unsatisfiable for ``=`` and always true for ``!=``.
+    """
+
+    __slots__ = ("column", "op", "value")
+
+    def __init__(self, column, op, value):
+        if op not in _OPERATORS:
+            raise PlanError(f"unsupported comparison operator: {op!r}")
+        if value is not None:
+            value = int(value)
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return f"Comparison({self.column!r} {self.op} {self.value!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Comparison)
+            and (self.column, self.op, self.value)
+            == (other.column, other.op, other.value)
+        )
+
+    def __hash__(self):
+        return hash((self.column, self.op, self.value))
+
+    def is_equality(self):
+        return self.op == EQ
+
+    def evaluate(self, scalar):
+        """Apply the predicate to a single integer value."""
+        if self.value is None:
+            return self.op == NE
+        return _PYTHON_OPS[self.op](scalar, self.value)
+
+    def mask(self, array):
+        """Apply the predicate to a numpy array, returning a boolean mask."""
+        import numpy as np
+
+        if self.value is None:
+            fill = self.op == NE
+            return np.full(len(array), fill, dtype=bool)
+        return _PYTHON_OPS[self.op](array, self.value)
+
+
+class ColumnComparison:
+    """``left_column <op> right_column`` — compares two columns of the same
+    relation.
+
+    Needed for cyclic graph patterns (a pattern sharing more than one
+    variable with already-joined patterns) and for redundant SQL join
+    conditions between already-joined relations.
+    """
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left, op, right):
+        if op not in _OPERATORS:
+            raise PlanError(f"unsupported comparison operator: {op!r}")
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def __repr__(self):
+        return f"ColumnComparison({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ColumnComparison)
+            and (self.left, self.op, self.right)
+            == (other.left, other.op, other.right)
+        )
+
+    def __hash__(self):
+        return hash((self.left, self.op, self.right))
+
+    def columns(self):
+        return (self.left, self.right)
+
+    def evaluate(self, left_value, right_value):
+        return _PYTHON_OPS[self.op](left_value, right_value)
+
+    def mask(self, left_array, right_array):
+        return _PYTHON_OPS[self.op](left_array, right_array)
+
+
+def is_column_comparison(predicate):
+    return isinstance(predicate, ColumnComparison)

@@ -1,0 +1,70 @@
+"""Pretty-printer for logical plans (used by RDFStore.explain)."""
+
+from repro.plan import logical as L
+
+
+def render_plan(plan, max_union_branches=4):
+    """Render a plan tree as indented text.
+
+    Unions over hundreds of property tables (the vertically-partitioned
+    full-scale queries) are elided after *max_union_branches* branches so
+    the output stays readable; the elision line reports how many branches
+    were hidden — which is itself the paper's point about those plans.
+    """
+    lines = []
+    _render(plan, 0, lines, max_union_branches)
+    return "\n".join(lines)
+
+
+def _render(node, depth, lines, max_union_branches):
+    indent = "  " * depth
+    lines.append(f"{indent}{_describe(node)}")
+    children = node.children()
+    if isinstance(node, L.Union) and len(children) > max_union_branches:
+        shown = children[:max_union_branches]
+        for child in shown:
+            _render(child, depth + 1, lines, max_union_branches)
+        lines.append(
+            f"{indent}  ... {len(children) - len(shown)} more union branches"
+        )
+        return
+    for child in children:
+        _render(child, depth + 1, lines, max_union_branches)
+
+
+def _describe(node):
+    if isinstance(node, L.Scan):
+        alias = f" AS {node.alias}" if node.alias else ""
+        return f"Scan {node.table}{alias} [{', '.join(node.base_columns)}]"
+    if isinstance(node, L.Select):
+        from repro.plan.predicates import is_column_comparison
+
+        parts = []
+        for p in node.predicates:
+            if is_column_comparison(p):
+                parts.append(f"{p.left} {p.op} {p.right}")
+            else:
+                parts.append(f"{p.column} {p.op} {p.value}")
+        return f"Select {' AND '.join(parts)}"
+    if isinstance(node, L.Project):
+        cols = ", ".join(
+            o if o == i else f"{i} AS {o}" for o, i in node.mapping
+        )
+        return f"Project {cols}"
+    if isinstance(node, L.Join):
+        on = " AND ".join(f"{l} = {r}" for l, r in node.on)
+        return f"Join {on}"
+    if isinstance(node, L.GroupBy):
+        keys = ", ".join(node.keys) or "()"
+        return f"GroupBy {keys} -> count(*) AS {node.count_column}"
+    if isinstance(node, L.Having):
+        p = node.predicate
+        return f"Having {p.column} {p.op} {p.value}"
+    if isinstance(node, L.Union):
+        kind = "Union" if node.distinct else "UnionAll"
+        return f"{kind} ({len(node.inputs)} branches)"
+    if isinstance(node, L.Distinct):
+        return "Distinct"
+    if isinstance(node, L.Extend):
+        return f"Extend {node.column} = {node.value}"
+    return type(node).__name__

@@ -1,0 +1,125 @@
+"""Reference (oracle) implementations of the benchmark queries.
+
+Each query is evaluated with naive nested loops over an
+:class:`~repro.model.graph.RDFGraph`, with SQL bag semantics.  Integration
+tests require every engine x scheme combination to return exactly these
+answers (as decoded, sorted tuples).
+"""
+
+from collections import Counter
+
+from repro.queries.definitions import CONSTANTS, parse_query_name
+
+
+def reference_answer(graph, name, interesting_properties):
+    """Sorted result tuples (strings/ints) for benchmark query *name*."""
+    base, full_scale = parse_query_name(name)
+    scope = None if full_scale else set(interesting_properties)
+    evaluator = _EVALUATORS[base]
+    return sorted(evaluator(graph, scope))
+
+
+def _in_scope(prop, scope):
+    return scope is None or prop in scope
+
+
+def _q1(graph, scope):
+    counts = Counter(t.o for t in graph.match(p=CONSTANTS["type"]))
+    return [(obj, n) for obj, n in counts.items()]
+
+
+def _text_subjects(graph):
+    return {
+        t.s
+        for t in graph.match(p=CONSTANTS["type"], o=CONSTANTS["Text"])
+    }
+
+
+def _q2(graph, scope):
+    subjects = _text_subjects(graph)
+    counts = Counter(
+        t.p
+        for t in graph
+        if t.s in subjects and _in_scope(t.p, scope)
+    )
+    return [(p, n) for p, n in counts.items()]
+
+
+def _q3(graph, scope):
+    subjects = _text_subjects(graph)
+    counts = Counter(
+        (t.p, t.o)
+        for t in graph
+        if t.s in subjects and _in_scope(t.p, scope)
+    )
+    return [(p, o, n) for (p, o), n in counts.items() if n > 1]
+
+
+def _q4(graph, scope):
+    text = _text_subjects(graph)
+    french = {
+        t.s
+        for t in graph.match(p=CONSTANTS["language"], o=CONSTANTS["french"])
+    }
+    subjects = text & french
+    counts = Counter(
+        (t.p, t.o)
+        for t in graph
+        if t.s in subjects and _in_scope(t.p, scope)
+    )
+    return [(p, o, n) for (p, o), n in counts.items() if n > 1]
+
+
+def _q5(graph, scope):
+    rows = []
+    for a in graph.match(p=CONSTANTS["origin"], o=CONSTANTS["DLC"]):
+        for b in graph.match(s=a.s, p=CONSTANTS["records"]):
+            for c in graph.match(s=b.o, p=CONSTANTS["type"]):
+                if c.o != CONSTANTS["Text"]:
+                    rows.append((b.s, c.o))
+    return rows
+
+
+def _q6(graph, scope):
+    union = _text_subjects(graph)
+    for c in graph.match(p=CONSTANTS["records"]):
+        for d in graph.match(s=c.o, p=CONSTANTS["type"]):
+            if d.o == CONSTANTS["Text"]:
+                union.add(c.s)
+    counts = Counter(
+        t.p
+        for t in graph
+        if t.s in union and _in_scope(t.p, scope)
+    )
+    return [(p, n) for p, n in counts.items()]
+
+
+def _q7(graph, scope):
+    rows = []
+    for a in graph.match(p=CONSTANTS["Point"], o=CONSTANTS["end"]):
+        for b in graph.match(s=a.s, p=CONSTANTS["Encoding"]):
+            for c in graph.match(s=a.s, p=CONSTANTS["type"]):
+                rows.append((a.s, b.o, c.o))
+    return rows
+
+
+def _q8(graph, scope):
+    rows = []
+    conferences = CONSTANTS["conferences"]
+    for a in graph.match(s=conferences):
+        for b in graph.match(o=a.o):
+            if b.s != conferences:
+                rows.append((b.s,))
+    return rows
+
+
+_EVALUATORS = {
+    "q1": _q1,
+    "q2": _q2,
+    "q3": _q3,
+    "q4": _q4,
+    "q5": _q5,
+    "q6": _q6,
+    "q7": _q7,
+    "q8": _q8,
+}

@@ -1,0 +1,22 @@
+"""DBX-like row-store engine.
+
+A from-scratch relational row engine standing in for the "well-known — for
+its performance — commercial row-store DBMS" the paper calls DBX:
+
+* tables are heaps of tuples clustered by a B+tree key (a real B+tree,
+  bulk-loaded, with range and prefix scans),
+* secondary (unclustered) B+tree indexes map keys to row ids; reading
+  through them pays scattered heap-page fetches,
+* queries run tuple-at-a-time through iterator operators with row-store CPU
+  costs, after a heuristic access-path/join-method selection that mirrors
+  what the paper observed DBX's optimizer doing (index prefix matching,
+  index nested-loop joins, hash fallback),
+* every plan operator carries a fixed optimizer/instantiation charge — the
+  term that blows up on the "more than two hundred unions and joins" of
+  full-scale vertically-partitioned queries (Section 4.2).
+"""
+
+from repro.rowstore.engine import RowStoreEngine
+from repro.rowstore.btree import BPlusTree
+
+__all__ = ["RowStoreEngine", "BPlusTree"]

@@ -1,0 +1,262 @@
+"""A B+tree over integer-tuple keys.
+
+Keys are tuples of ints (composite index keys); values are integer row ids.
+Duplicate keys are allowed.  The tree supports bulk loading from sorted
+pairs, point/prefix/range scans, and single-pair insertion (used by tests
+and by incremental loads).
+
+Each node corresponds to one simulated disk page.  The tree itself is a
+pure data structure; callers that want I/O and CPU accounting set
+``on_access`` to a callback invoked with the node's page number on every
+node visit (descent steps and leaf hops alike).
+"""
+
+import bisect
+
+from repro.errors import StorageError
+
+
+class _Node:
+    __slots__ = ("page", "keys")
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next_leaf")
+
+    def __init__(self, page):
+        self.page = page
+        self.keys = []
+        self.values = []
+        self.next_leaf = None
+
+    is_leaf = True
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, page):
+        self.page = page
+        self.keys = []      # separator keys; len(children) == len(keys) + 1
+        self.children = []  # node page numbers
+
+    is_leaf = False
+
+
+class BPlusTree:
+    """B+tree with configurable fan-out (max keys per node)."""
+
+    def __init__(self, order=64, on_access=None):
+        if order < 3:
+            raise StorageError("B+tree order must be at least 3")
+        self.order = order
+        self.on_access = on_access
+        self._nodes = []
+        root = self._new_leaf()
+        self._root_page = root.page
+        self._n_entries = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, pairs, order=64, fill_factor=0.7, on_access=None):
+        """Build a tree from ``(key, value)`` pairs sorted by key."""
+        tree = cls(order=order, on_access=on_access)
+        pairs = list(pairs)
+        if not pairs:
+            return tree
+        last = None
+        for key, _ in pairs:
+            key = tuple(key)
+            if last is not None and key < last:
+                raise StorageError("bulk_load requires key-sorted input")
+            last = key
+
+        tree._nodes = []
+        per_leaf = max(2, int(order * fill_factor))
+        leaves = []
+        for start in range(0, len(pairs), per_leaf):
+            chunk = pairs[start : start + per_leaf]
+            leaf = tree._new_leaf()
+            leaf.keys = [tuple(k) for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            leaves.append(leaf)
+        for a, b in zip(leaves, leaves[1:]):
+            a.next_leaf = b.page
+
+        level = leaves
+        while len(level) > 1:
+            parents = []
+            per_node = max(2, int(order * fill_factor))
+            for start in range(0, len(level), per_node):
+                chunk = level[start : start + per_node]
+                node = tree._new_internal()
+                node.children = [c.page for c in chunk]
+                node.keys = [tree._subtree_min(c) for c in chunk[1:]]
+                parents.append(node)
+            level = parents
+        tree._root_page = level[0].page
+        tree._n_entries = len(pairs)
+        return tree
+
+    def insert(self, key, value):
+        """Insert one pair (duplicates allowed)."""
+        key = tuple(key)
+        path = []
+        node = self._node(self._root_page)
+        while not node.is_leaf:
+            path.append(node)
+            index = bisect.bisect_right(node.keys, key)
+            node = self._node(node.children[index])
+        index = bisect.bisect_right(node.keys, key)
+        node.keys.insert(index, key)
+        node.values.insert(index, value)
+        self._n_entries += 1
+        if len(node.keys) > self.order:
+            self._split(node, path)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._n_entries
+
+    def height(self):
+        """Number of levels (1 for a lone leaf)."""
+        levels = 1
+        node = self._node(self._root_page)
+        while not node.is_leaf:
+            levels += 1
+            node = self._node(node.children[0])
+        return levels
+
+    def n_nodes(self):
+        return len(self._nodes)
+
+    def search(self, key):
+        """All values stored under exactly *key*."""
+        key = tuple(key)
+        return [v for _, v in self.range_scan(key, _upper_bound(key))]
+
+    def prefix_scan(self, prefix):
+        """Yield ``(key, value)`` for every key starting with *prefix*."""
+        prefix = tuple(prefix)
+        return self.range_scan(prefix, _upper_bound(prefix))
+
+    def range_scan(self, lo, hi):
+        """Yield ``(key, value)`` pairs with ``lo <= key < hi``.
+
+        *lo* of ``None`` means unbounded below, *hi* of ``None`` unbounded
+        above.  Key comparison is tuple comparison, so a short *lo* tuple
+        acts as an inclusive prefix bound.
+        """
+        leaf, index = self._descend(lo)
+        while leaf is not None:
+            keys = leaf.keys
+            while index < len(keys):
+                key = keys[index]
+                if hi is not None and not key < hi:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            if leaf.next_leaf is None:
+                return
+            leaf = self._node(leaf.next_leaf)
+            self._touch(leaf)
+            index = 0
+
+    def items(self):
+        """Every pair in key order."""
+        return self.range_scan(None, None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _descend(self, key):
+        """Leaf and in-leaf position of the first key >= *key*."""
+        node = self._node(self._root_page)
+        self._touch(node)
+        while not node.is_leaf:
+            if key is None:
+                index = 0
+            else:
+                # bisect_left: duplicates equal to a separator may live at
+                # the end of the left sibling (bulk load packs contiguously),
+                # so descend left and let the leaf hop move forward if empty.
+                index = bisect.bisect_left(node.keys, tuple(key))
+            node = self._node(node.children[index])
+            self._touch(node)
+        if key is None:
+            return node, 0
+        index = bisect.bisect_left(node.keys, tuple(key))
+        if index == len(node.keys) and node.next_leaf is not None:
+            nxt = self._node(node.next_leaf)
+            self._touch(nxt)
+            return nxt, 0
+        return node, index
+
+    def _touch(self, node):
+        if self.on_access is not None:
+            self.on_access(node.page)
+
+    def _node(self, page):
+        return self._nodes[page]
+
+    def _new_leaf(self):
+        leaf = _Leaf(len(self._nodes))
+        self._nodes.append(leaf)
+        return leaf
+
+    def _new_internal(self):
+        node = _Internal(len(self._nodes))
+        self._nodes.append(node)
+        return node
+
+    def _subtree_min(self, node):
+        while not node.is_leaf:
+            node = self._node(node.children[0])
+        return node.keys[0]
+
+    def _split(self, node, path):
+        mid = len(node.keys) // 2
+        if node.is_leaf:
+            sibling = self._new_leaf()
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            sibling.next_leaf = node.next_leaf
+            node.next_leaf = sibling.page
+            separator = sibling.keys[0]
+        else:
+            sibling = self._new_internal()
+            separator = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+
+        if not path:
+            root = self._new_internal()
+            root.keys = [separator]
+            root.children = [node.page, sibling.page]
+            self._root_page = root.page
+            return
+        parent = path[-1]
+        index = bisect.bisect_right(parent.keys, separator)
+        parent.keys.insert(index, separator)
+        parent.children.insert(index + 1, sibling.page)
+        if len(parent.keys) > self.order:
+            self._split(parent, path[:-1])
+
+
+def _upper_bound(prefix):
+    """Smallest tuple greater than every tuple starting with *prefix*."""
+    prefix = tuple(prefix)
+    if not prefix:
+        return None
+    return prefix[:-1] + (prefix[-1] + 1,)

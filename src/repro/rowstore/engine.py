@@ -1,0 +1,140 @@
+"""The row-store engine facade."""
+
+from repro.engine import (
+    MACHINE_A,
+    ROW_STORE_COSTS,
+    BufferPool,
+    QueryClock,
+    SimulatedDisk,
+)
+from repro.errors import StorageError
+from repro.plan.logical import count_operators
+from repro.rowstore.executor import RowExecutor
+from repro.rowstore.table import RowTable
+
+
+class RowStoreEngine:
+    """DBX-like engine: clustered heaps, B+tree indexes, iterator executor.
+
+    Usage::
+
+        engine = RowStoreEngine()
+        engine.create_table(
+            "triples", {"subj": ..., "prop": ..., "obj": ...},
+            sort_by=["prop", "subj", "obj"],          # clustering key
+            indexes=[{"name": "idx_pos", "columns": ["prop", "obj", "subj"]}],
+        )
+        relation, timing = engine.run(plan)
+    """
+
+    kind = "row-store"
+
+    #: Sequential heap scans stream in 512 KB requests.
+    DEFAULT_MAX_RUN_BYTES = 512 * 1024
+
+    #: Default page size: small, to keep per-table page floors proportionate
+    #: in the 1:N scale model (see ColumnStoreEngine.DEFAULT_PAGE_SIZE).
+    DEFAULT_PAGE_SIZE = 2048
+
+    def __init__(self, machine=MACHINE_A, costs=ROW_STORE_COSTS,
+                 page_size=DEFAULT_PAGE_SIZE, buffer_bytes=None,
+                 max_run_bytes=DEFAULT_MAX_RUN_BYTES, btree_order=64):
+        self.machine = machine
+        self.costs = costs
+        self.disk = SimulatedDisk(page_size=page_size)
+        self.clock = QueryClock(machine)
+        if buffer_bytes is None:
+            buffer_bytes = int(machine.ram_bytes * 0.8)
+        self.pool = BufferPool(
+            self.disk, self.clock, buffer_bytes, max_run_bytes=max_run_bytes
+        )
+        self.btree_order = btree_order
+        self._tables = {}
+        self._executor = RowExecutor(self)
+
+    # ------------------------------------------------------------------
+    # DDL / catalog
+    # ------------------------------------------------------------------
+
+    def create_table(self, name, columns, sort_by=None, indexes=None):
+        """Create a table clustered on *sort_by* with secondary *indexes*.
+
+        *indexes* is a list of ``{"name": ..., "columns": [...]}`` dicts
+        (or None/empty for none).
+        """
+        if name in self._tables:
+            raise StorageError(f"table already exists: {name!r}")
+        table = RowTable(
+            name,
+            columns,
+            self.disk,
+            clustering=sort_by,
+            indexes=indexes or (),
+            btree_order=self.btree_order,
+        )
+        for index in table.all_indexes():
+            self._wire_index_accounting(index)
+        self._tables[name] = table
+        return table
+
+    def _wire_index_accounting(self, index):
+        """Charge I/O + CPU for every B+tree node the executor touches."""
+        pool, clock, segment = self.pool, self.clock, index.segment
+        node_cost = self.costs.btree_node
+
+        def on_access(page):
+            pool.read_pages(segment, [page])
+            clock.charge_cpu(node_cost)
+
+        index.tree.on_access = on_access
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"no such table: {name!r}") from None
+
+    def drop_table(self, name):
+        """Drop a table, its heap, and every index segment."""
+        table = self.table(name)
+        self.disk.drop_segment(f"{name}.heap")
+        for index in table.all_indexes():
+            self.disk.drop_segment(f"{name}.{index.name}")
+        del self._tables[name]
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def table_names(self):
+        return list(self._tables)
+
+    def database_bytes(self):
+        return self.disk.total_bytes()
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+
+    def run(self, plan):
+        """Execute a logical plan; returns ``(Relation, QueryTiming)``."""
+        self.clock.reset()
+        n_operators = count_operators(plan)
+        self.clock.charge_cpu(
+            self.costs.query_overhead
+            + self.costs.plan_operator * n_operators
+            + self.costs.plan_quadratic * n_operators * n_operators
+        )
+        relation = self._executor.execute(plan)
+        self.clock.charge_cpu(self.costs.output_tuple * relation.n_rows)
+        return relation, self.clock.timing()
+
+    def execute(self, plan):
+        relation, _ = self.run(plan)
+        return relation
+
+    def make_cold(self):
+        """Clear every cached page (server restart + cache flush)."""
+        self.pool.clear()
+
+    def io_history(self):
+        return self.clock.io_history()

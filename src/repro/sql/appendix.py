@@ -1,0 +1,149 @@
+"""The paper's appendix SQL, verbatim modulo constant spelling.
+
+The appendix writes constants in typographic quotes (``‘<type>’``); here
+they are ordinary single-quoted SQL strings whose contents are the exact
+dictionary keys the data loader uses.  As in the paper, the queries are
+written against the triple-store schema; the vertically-partitioned SQL is
+*generated* from these texts (see :mod:`repro.sql.generator`).
+"""
+
+APPENDIX_SQL = {
+    "q1": """
+        SELECT A.obj, count(*)
+        FROM triples AS A
+        WHERE A.prop = '<type>'
+        GROUP BY A.obj
+    """,
+    "q2": """
+        SELECT B.prop, count(*)
+        FROM triples AS A, triples AS B,
+             properties P
+        WHERE A.subj = B.subj
+          AND A.prop = '<type>'
+          AND A.obj = '<Text>'
+          AND P.prop = B.prop
+        GROUP BY B.prop
+    """,
+    "q2*": """
+        SELECT B.prop, count(*)
+        FROM triples AS A, triples AS B
+        WHERE A.subj = B.subj
+          AND A.prop = '<type>'
+          AND A.obj = '<Text>'
+        GROUP BY B.prop
+    """,
+    "q3": """
+        SELECT B.prop, B.obj, count(*)
+        FROM triples AS A, triples AS B,
+             properties P
+        WHERE A.subj = B.subj
+          AND A.prop = '<type>'
+          AND A.obj = '<Text>'
+          AND P.prop = B.prop
+        GROUP BY B.prop, B.obj
+        HAVING count(*) > 1
+    """,
+    "q3*": """
+        SELECT B.prop, B.obj, count(*)
+        FROM triples AS A, triples AS B
+        WHERE A.subj = B.subj
+          AND A.prop = '<type>'
+          AND A.obj = '<Text>'
+        GROUP BY B.prop, B.obj
+        HAVING count(*) > 1
+    """,
+    "q4": """
+        SELECT B.prop, B.obj, count(*)
+        FROM triples AS A, triples AS B, triples AS C,
+             properties P
+        WHERE A.subj = B.subj
+          AND A.prop = '<type>'
+          AND A.obj = '<Text>'
+          AND P.prop = B.prop
+          AND C.subj = B.subj
+          AND C.prop = '<language>'
+          AND C.obj = '<language/iso639-2b/fre>'
+        GROUP BY B.prop, B.obj
+        HAVING count(*) > 1
+    """,
+    "q4*": """
+        SELECT B.prop, B.obj, count(*)
+        FROM triples AS A, triples AS B, triples AS C
+        WHERE A.subj = B.subj
+          AND A.prop = '<type>'
+          AND A.obj = '<Text>'
+          AND C.subj = B.subj
+          AND C.prop = '<language>'
+          AND C.obj = '<language/iso639-2b/fre>'
+        GROUP BY B.prop, B.obj
+        HAVING count(*) > 1
+    """,
+    "q5": """
+        SELECT B.subj, C.obj
+        FROM triples AS A, triples AS B, triples AS C
+        WHERE A.subj = B.subj
+          AND A.prop = '<origin>'
+          AND A.obj = '<info:marcorg/DLC>'
+          AND B.prop = '<records>'
+          AND B.obj = C.subj
+          AND C.prop = '<type>'
+          AND C.obj != '<Text>'
+    """,
+    "q6": """
+        SELECT A.prop, count(*)
+        FROM triples AS A,
+             properties P,
+             (
+               (SELECT B.subj
+                FROM triples AS B
+                WHERE B.prop = '<type>'
+                  AND B.obj = '<Text>')
+               UNION
+               (SELECT C.subj
+                FROM triples AS C, triples AS D
+                WHERE C.prop = '<records>'
+                  AND C.obj = D.subj
+                  AND D.prop = '<type>'
+                  AND D.obj = '<Text>')
+             ) AS uniontable
+        WHERE A.subj = uniontable.subj
+          AND P.prop = A.prop
+        GROUP BY A.prop
+    """,
+    "q6*": """
+        SELECT A.prop, count(*)
+        FROM triples AS A,
+             (
+               (SELECT B.subj
+                FROM triples AS B
+                WHERE B.prop = '<type>'
+                  AND B.obj = '<Text>')
+               UNION
+               (SELECT C.subj
+                FROM triples AS C, triples AS D
+                WHERE C.prop = '<records>'
+                  AND C.obj = D.subj
+                  AND D.prop = '<type>'
+                  AND D.obj = '<Text>')
+             ) AS uniontable
+        WHERE A.subj = uniontable.subj
+        GROUP BY A.prop
+    """,
+    "q7": """
+        SELECT A.subj, B.obj, C.obj
+        FROM triples AS A, triples AS B, triples AS C
+        WHERE A.prop = '<Point>'
+          AND A.obj = '"end"'
+          AND A.subj = B.subj
+          AND B.prop = '<Encoding>'
+          AND A.subj = C.subj
+          AND C.prop = '<type>'
+    """,
+    "q8": """
+        SELECT B.subj
+        FROM triples AS A, triples AS B
+        WHERE A.subj = '<conferences>'
+          AND B.subj != '<conferences>'
+          AND A.obj = B.obj
+    """,
+}

@@ -1,0 +1,237 @@
+"""EXTENSION — incremental maintenance of deployed storage schemes.
+
+The benchmark is read-only by convention (Section 2.3), but the paper makes
+a structural point about updates: "in case of an update in properties, the
+queries have to be re-produced.  Here holds the general observation that
+data-driven logical schemes make queries susceptible to updates"
+(Section 4.2).  This module makes that observation executable:
+
+* inserting triples into a **triple-store** rebuilds one table (a bulk
+  merge into the clustered order) and never changes the logical schema,
+* inserting into a **vertically-partitioned** store rebuilds only the
+  affected property tables — but a triple with a *previously unseen
+  property* requires ``CREATE TABLE`` and invalidates every generated
+  query that iterates the property list (the q2*/q3*/q4*/q6*/q8 family).
+
+Physical rebuild is how column stores actually absorb bulk appends
+(write-optimized deltas merged into the read-optimized store); the
+:class:`MaintenanceReport` accounts what had to be rewritten so the cost
+asymmetry between the schemes is measurable.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dictionary import Dictionary
+from repro.errors import StorageError
+from repro.storage.catalog import clustering_columns
+
+
+@dataclass
+class MaintenanceReport:
+    """What one batch insert did to the physical store."""
+
+    n_triples: int
+    tables_rebuilt: list = field(default_factory=list)
+    tables_created: list = field(default_factory=list)
+    bytes_rewritten: int = 0
+    new_properties: list = field(default_factory=list)
+
+    @property
+    def schema_changed(self):
+        """Did the logical schema change (new tables appear)?"""
+        return bool(self.tables_created)
+
+    @property
+    def plans_invalidated(self):
+        """Must generated all-property queries be re-produced?
+
+        True exactly when the logical schema grew: every
+        vertically-partitioned query that iterates the property tables in
+        its FROM clause is now incomplete (the paper's Section 4.2 point).
+        A triple-store absorbs new properties without schema change, so its
+        queries never go stale.
+        """
+        return self.schema_changed
+
+
+def insert_triples(engine, catalog, triples):
+    """Insert *triples* into a deployed scheme; returns
+    ``(new_catalog, MaintenanceReport)``.
+
+    The catalog is replaced (its dictionary may have grown and, for the
+    vertical scheme, its table map may have gained entries); the engine is
+    updated in place.
+    """
+    triples = list(triples)
+    if catalog.is_triple_store():
+        return _insert_triple_store(engine, catalog, triples)
+    if catalog.is_vertical():
+        return _insert_vertical(engine, catalog, triples)
+    raise StorageError(
+        f"incremental maintenance not implemented for scheme "
+        f"{catalog.scheme!r}"
+    )
+
+
+def _thaw(frozen):
+    """Rebuild a mutable dictionary preserving every existing oid."""
+    return Dictionary(frozen)
+
+
+def _replace_table(engine, name, columns, sort_by, indexes):
+    if engine.has_table(name):
+        engine.drop_table(name)
+    table = engine.create_table(name, columns, sort_by=sort_by, indexes=indexes)
+    return table
+
+
+def _insert_triple_store(engine, catalog, triples):
+    import dataclasses
+
+    dictionary = _thaw(catalog.dictionary)
+    report = MaintenanceReport(n_triples=len(triples))
+
+    table = engine.table(catalog.triples_table)
+    old_properties = set(catalog.all_properties)
+
+    if engine.kind == "column-store":
+        subj = table.array("subj")
+        prop = table.array("prop")
+        obj = table.array("obj")
+        rows = list(zip(subj.tolist(), prop.tolist(), obj.tolist()))
+    else:
+        position = {c: i for i, c in enumerate(table.columns)}
+        rows = [
+            (r[position["subj"]], r[position["prop"]], r[position["obj"]])
+            for r in table.rows
+        ]
+    for t in triples:
+        rows.append(
+            (
+                dictionary.encode(t.s),
+                dictionary.encode(t.p),
+                dictionary.encode(t.o),
+            )
+        )
+        if t.p not in old_properties:
+            old_properties.add(t.p)
+            report.new_properties.append(t.p)
+
+    columns = {
+        "subj": np.asarray([r[0] for r in rows], dtype=np.int64),
+        "prop": np.asarray([r[1] for r in rows], dtype=np.int64),
+        "obj": np.asarray([r[2] for r in rows], dtype=np.int64),
+    }
+    sort_by = list(clustering_columns(catalog.clustering))
+    indexes = _existing_index_specs(engine, table)
+    new_table = _replace_table(
+        engine, catalog.triples_table, columns, sort_by, indexes
+    )
+    report.tables_rebuilt.append(catalog.triples_table)
+    report.bytes_rewritten += _table_bytes(new_table)
+    # New properties extend the vocabulary but NOT the schema: the
+    # triple-store's queries never enumerate properties.
+    report.new_properties = sorted(
+        set(report.new_properties)
+    )
+    new_catalog = dataclasses.replace(
+        catalog,
+        dictionary=dictionary.freeze(),
+        all_properties=_ranked_properties_triple(columns, dictionary),
+    )
+    return new_catalog, report
+
+
+def _insert_vertical(engine, catalog, triples):
+    import dataclasses
+
+    dictionary = _thaw(catalog.dictionary)
+    report = MaintenanceReport(n_triples=len(triples))
+
+    by_property = {}
+    for t in triples:
+        by_property.setdefault(t.p, []).append(
+            (dictionary.encode(t.s), dictionary.encode(t.o))
+        )
+
+    property_tables = dict(catalog.property_tables)
+    with_indexes = engine.kind == "row-store"
+    for prop_name, pairs in by_property.items():
+        table_name = property_tables.get(prop_name)
+        existing = []
+        if table_name is None:
+            # The data-driven schema grows: CREATE TABLE, and every
+            # generated all-property query is now stale.
+            oid = dictionary.encode(prop_name)
+            table_name = f"vp_{oid}"
+            property_tables[prop_name] = table_name
+            report.tables_created.append(table_name)
+            report.new_properties.append(prop_name)
+        else:
+            table = engine.table(table_name)
+            if engine.kind == "column-store":
+                existing = list(
+                    zip(
+                        table.array("subj").tolist(),
+                        table.array("obj").tolist(),
+                    )
+                )
+            else:
+                existing = [(r[0], r[1]) for r in table.rows]
+            report.tables_rebuilt.append(table_name)
+        rows = existing + pairs
+        indexes = None
+        if with_indexes:
+            indexes = [
+                {"name": f"{table_name}_os", "columns": ["obj", "subj"]}
+            ]
+        new_table = _replace_table(
+            engine,
+            table_name,
+            {
+                "subj": np.asarray([r[0] for r in rows], dtype=np.int64),
+                "obj": np.asarray([r[1] for r in rows], dtype=np.int64),
+            },
+            ["subj", "obj"],
+            indexes,
+        )
+        report.bytes_rewritten += _table_bytes(new_table)
+
+    counts = {
+        p: engine.table(t).n_rows for p, t in property_tables.items()
+    }
+    new_catalog = dataclasses.replace(
+        catalog,
+        dictionary=dictionary.freeze(),
+        property_tables=property_tables,
+        all_properties=sorted(counts, key=lambda p: (-counts[p], p)),
+    )
+    report.new_properties.sort()
+    return new_catalog, report
+
+
+def _existing_index_specs(engine, table):
+    if engine.kind != "row-store":
+        return None
+    return [
+        {"name": index.name, "columns": list(index.key_columns)}
+        for index in table.secondary_indexes()
+    ]
+
+
+def _table_bytes(table):
+    if hasattr(table, "bytes_on_disk"):
+        return table.bytes_on_disk()
+    return 0
+
+
+def _ranked_properties_triple(columns, dictionary):
+    from collections import Counter
+
+    counts = Counter(columns["prop"].tolist())
+    return sorted(
+        (dictionary.decode(p) for p in counts),
+        key=lambda name: (-counts[dictionary.lookup(name)], name),
+    )

@@ -1,0 +1,150 @@
+"""EXTENSION — the property-table storage scheme.
+
+The third physical organization in the debate: the property-table approach
+of Jena2 (Wilkinson et al.) and Oracle (Chong et al.), which the VLDB 2007
+paper criticizes and this paper explicitly leaves out of its experiments
+("We do not analyze the property table dimension, which requires amongst
+others an evaluation using database design wizards").  It is provided here
+as an extension so the full three-way comparison can be run; the benchmark
+harness and EXPERIMENTS.md treat it as out-of-paper material.
+
+Layout (Jena2-style single-valued clustering):
+
+* a wide ``ptable(subj, p_<oid>, p_<oid>, ...)`` holds one row per subject
+  that has at least one *single-valued* clustered property; absent values
+  are NULL (the ``NULL_OID`` sentinel),
+* every other triple — non-clustered properties and every instance of a
+  multi-valued (subject, property) pair — lives in a leftover ``triples``
+  table clustered PSO.
+
+Each triple of the input is represented exactly once.  Queries that do not
+bind the property, or bind one that is multi-valued somewhere, must UNION
+the wide-table columns with the leftover table — the "proliferation of
+union clauses and joins" criticism the paper quotes.
+"""
+
+import numpy as np
+
+from repro.dictionary import Dictionary
+from repro.storage.encoding import order_preserving_dictionary
+from repro.errors import StorageError
+from repro.storage.catalog import StoreCatalog, clustering_columns
+
+#: Sentinel oid representing SQL NULL in wide-table columns.  Real oids are
+#: non-negative, so -1 can never collide.
+NULL_OID = -1
+
+
+def property_column_name(prop_oid):
+    return f"p_{prop_oid}"
+
+
+def build_property_table_store(engine, triples, interesting_properties,
+                               clustered_properties=None, dictionary=None,
+                               leftover_clustering="PSO",
+                               table_name="ptable",
+                               leftover_name="triples"):
+    """Deploy the property-table scheme; returns a StoreCatalog.
+
+    *clustered_properties* defaults to the interesting (Longwell) set —
+    the choice a database design wizard would make from the query workload.
+    """
+    triples = list(triples)
+    dictionary = order_preserving_dictionary(triples, dictionary)
+    if clustered_properties is None:
+        clustered_properties = list(interesting_properties)
+    clustered_set = set(clustered_properties)
+    if not clustered_set:
+        raise StorageError("property-table scheme needs clustered properties")
+
+    # Pass 1: encode and bucket triples per (subject, property).
+    by_subject_property = {}
+    leftover_rows = []
+    property_counts = {}
+    for t in triples:
+        s = dictionary.encode(t.s)
+        p = dictionary.encode(t.p)
+        o = dictionary.encode(t.o)
+        property_counts[t.p] = property_counts.get(t.p, 0) + 1
+        if t.p in clustered_set:
+            by_subject_property.setdefault((s, p), []).append(o)
+        else:
+            leftover_rows.append((s, p, o))
+
+    # Pass 2: single-valued pairs go to the wide table; multi-valued pairs
+    # spill every instance to the leftover table.
+    cell_values = {}
+    wide_subjects = set()
+    for (s, p), values in by_subject_property.items():
+        if len(values) == 1:
+            cell_values[(s, p)] = values[0]
+            wide_subjects.add(s)
+        else:
+            leftover_rows.extend((s, p, o) for o in values)
+
+    subjects = np.asarray(sorted(wide_subjects), dtype=np.int64)
+    position = {s: i for i, s in enumerate(subjects.tolist())}
+    columns = {"subj": subjects}
+    clustered_columns = {}
+    for prop in clustered_properties:
+        oid = dictionary.encode(prop)
+        column = property_column_name(oid)
+        values = np.full(len(subjects), NULL_OID, dtype=np.int64)
+        clustered_columns[prop] = column
+        columns[column] = values
+    for (s, p), o in cell_values.items():
+        prop_name = dictionary.decode(p)
+        columns[clustered_columns[prop_name]][position[s]] = o
+
+    engine.create_table(
+        table_name, columns, sort_by=["subj"],
+        indexes=[] if engine.kind == "row-store" else None,
+    )
+
+    leftover_sort = list(clustering_columns(leftover_clustering))
+    leftover_indexes = None
+    if engine.kind == "row-store":
+        leftover_indexes = [
+            {"name": "leftover_pos", "columns": ["prop", "obj", "subj"]},
+            {"name": "leftover_spo", "columns": ["subj", "prop", "obj"]},
+        ]
+    leftover_rows.sort()
+    if leftover_rows:
+        subj_arr, prop_arr, obj_arr = (
+            np.asarray(a, dtype=np.int64) for a in zip(*leftover_rows)
+        )
+    else:
+        subj_arr = prop_arr = obj_arr = np.empty(0, dtype=np.int64)
+    engine.create_table(
+        leftover_name,
+        {"subj": subj_arr, "prop": prop_arr, "obj": obj_arr},
+        sort_by=leftover_sort,
+        indexes=leftover_indexes,
+    )
+
+    oids = np.asarray(
+        [dictionary.encode(p) for p in interesting_properties],
+        dtype=np.int64,
+    )
+    engine.create_table(
+        "properties", {"prop": oids}, sort_by=["prop"],
+        indexes=[] if engine.kind == "row-store" else None,
+    )
+
+    all_properties = sorted(
+        property_counts, key=lambda p: (-property_counts[p], p)
+    )
+    catalog = StoreCatalog(
+        scheme="property_table",
+        clustering=f"subj+{leftover_clustering}",
+        dictionary=dictionary.freeze(),
+        interesting_properties=list(interesting_properties),
+        all_properties=all_properties,
+        triples_table=leftover_name,
+        properties_table="properties",
+    )
+    # Extension fields (StoreCatalog is a plain dataclass; these ride along
+    # for the property-table query builder).
+    catalog.property_table_name = table_name
+    catalog.clustered_property_columns = clustered_columns
+    return catalog

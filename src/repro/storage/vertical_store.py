@@ -1,0 +1,82 @@
+"""Deploy the vertically-partitioned scheme into an engine.
+
+One two-column ``(subj, obj)`` table per distinct property, data sorted on
+(subject, object).  On the row store each table additionally gets a
+clustered B+tree on SO and an unclustered B+tree on OS (paper, Section 4.2).
+For the Barton-like data set "this calls for 222 tables, many with just a
+small number of rows (less than 10)".
+"""
+
+import numpy as np
+
+from repro.dictionary import Dictionary
+from repro.storage.encoding import order_preserving_dictionary
+from repro.storage.catalog import StoreCatalog
+
+
+def build_vertical_store(engine, triples, interesting_properties,
+                         dictionary=None, with_indexes=None,
+                         with_properties_table=True):
+    """Create per-property tables inside *engine*; returns a StoreCatalog."""
+    triples = list(triples)
+    dictionary = order_preserving_dictionary(triples, dictionary)
+    if with_indexes is None:
+        with_indexes = engine.kind == "row-store"
+
+    groups = {}
+    property_counts = {}
+    for t in triples:
+        s = dictionary.encode(t.s)
+        p_name = t.p
+        o = dictionary.encode(t.o)
+        dictionary.encode(p_name)
+        groups.setdefault(p_name, ([], []))
+        pair = groups[p_name]
+        pair[0].append(s)
+        pair[1].append(o)
+        property_counts[p_name] = property_counts.get(p_name, 0) + 1
+
+    property_tables = {}
+    for p_name, (subjects, objects) in groups.items():
+        oid = dictionary.lookup(p_name)
+        table_name = f"vp_{oid}"
+        indexes = None
+        if with_indexes:
+            indexes = [{"name": f"{table_name}_os", "columns": ["obj", "subj"]}]
+        engine.create_table(
+            table_name,
+            {
+                "subj": np.asarray(subjects, dtype=np.int64),
+                "obj": np.asarray(objects, dtype=np.int64),
+            },
+            sort_by=["subj", "obj"],
+            indexes=indexes,
+        )
+        property_tables[p_name] = table_name
+
+    properties_table = None
+    if with_properties_table:
+        oids = np.asarray(
+            [dictionary.encode(p) for p in interesting_properties],
+            dtype=np.int64,
+        )
+        engine.create_table(
+            "properties",
+            {"prop": oids},
+            sort_by=["prop"],
+            indexes=[] if with_indexes else None,
+        )
+        properties_table = "properties"
+
+    all_properties = sorted(
+        property_counts, key=lambda p: (-property_counts[p], p)
+    )
+    return StoreCatalog(
+        scheme="vertical",
+        clustering="SO",
+        dictionary=dictionary.freeze(),
+        interesting_properties=list(interesting_properties),
+        all_properties=all_properties,
+        properties_table=properties_table,
+        property_tables=property_tables,
+    )

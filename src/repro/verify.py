@@ -1,0 +1,126 @@
+"""Cross-implementation verification (the repeatability spirit of the paper).
+
+The paper is an Experiments & Analysis contribution: its value rests on
+*independent implementations agreeing*.  This module packages that check as
+a library/CLI feature: run every benchmark query on every engine x scheme
+combination and on the naive reference evaluator, and report whether all
+answers agree.
+
+::
+
+    python -m repro verify --triples 20000
+"""
+
+from dataclasses import dataclass, field
+
+from repro.colstore import ColumnStoreEngine
+from repro.cstore import CSTORE_QUERIES, CStoreEngine
+from repro.queries import ALL_QUERY_NAMES, build_query, reference_answer
+from repro.rowstore import RowStoreEngine
+from repro.storage import (
+    build_property_table_store,
+    build_triple_store,
+    build_vertical_store,
+)
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verification sweep."""
+
+    configurations: list
+    queries: list
+    mismatches: list = field(default_factory=list)  # (config, query, detail)
+    checks: int = 0
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    def render(self):
+        lines = [
+            f"verified {self.checks} (configuration, query) cells over "
+            f"{len(self.configurations)} configurations x "
+            f"{len(self.queries)} queries"
+        ]
+        if self.ok:
+            lines.append("all implementations agree with the reference "
+                         "evaluator")
+        else:
+            lines.append(f"{len(self.mismatches)} MISMATCHES:")
+            for config, query, detail in self.mismatches:
+                lines.append(f"  {config} {query}: {detail}")
+        return "\n".join(lines)
+
+
+#: (label, engine factory, scheme builder) for the SQL-engine combinations.
+_CONFIGURATIONS = [
+    ("column/triple-PSO", ColumnStoreEngine,
+     lambda e, d: build_triple_store(
+         e, d.triples, d.interesting_properties, clustering="PSO")),
+    ("column/triple-SPO", ColumnStoreEngine,
+     lambda e, d: build_triple_store(
+         e, d.triples, d.interesting_properties, clustering="SPO")),
+    ("column/vertical", ColumnStoreEngine,
+     lambda e, d: build_vertical_store(
+         e, d.triples, d.interesting_properties)),
+    ("column/property-table", ColumnStoreEngine,
+     lambda e, d: build_property_table_store(
+         e, d.triples, d.interesting_properties)),
+    ("row/triple-PSO", RowStoreEngine,
+     lambda e, d: build_triple_store(
+         e, d.triples, d.interesting_properties, clustering="PSO")),
+    ("row/vertical", RowStoreEngine,
+     lambda e, d: build_vertical_store(
+         e, d.triples, d.interesting_properties)),
+]
+
+
+def verify_dataset(dataset, queries=ALL_QUERY_NAMES, include_cstore=True):
+    """Run the verification sweep; returns a :class:`VerificationResult`."""
+    graph = dataset.graph()
+    expected = {
+        q: reference_answer(graph, q, dataset.interesting_properties)
+        for q in queries
+    }
+
+    result = VerificationResult(
+        configurations=[label for label, _, _ in _CONFIGURATIONS],
+        queries=list(queries),
+    )
+
+    for label, engine_cls, builder in _CONFIGURATIONS:
+        engine = engine_cls()
+        catalog = builder(engine, dataset)
+        for query in queries:
+            plan = build_query(catalog, query)
+            relation = engine.execute(plan)
+            got = sorted(
+                relation.decoded_tuples(
+                    catalog.dictionary, order=plan.output_columns()
+                )
+            )
+            result.checks += 1
+            if got != expected[query]:
+                result.mismatches.append(
+                    (label, query,
+                     f"{len(got)} rows vs reference {len(expected[query])}")
+                )
+
+    if include_cstore:
+        result.configurations.append("c-store/vertical")
+        engine = CStoreEngine().load_vertical(
+            dataset.triples, dataset.interesting_properties
+        )
+        for query in queries:
+            if query not in CSTORE_QUERIES:
+                continue
+            relation = engine.execute(query)
+            got = sorted(relation.decoded_tuples(engine.dictionary))
+            result.checks += 1
+            if got != expected[query]:
+                result.mismatches.append(
+                    ("c-store/vertical", query,
+                     f"{len(got)} rows vs reference {len(expected[query])}")
+                )
+    return result

@@ -1,0 +1,14 @@
+"""Shared pytest configuration for the unit/integration test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# The engines under test execute real (if small) query plans per example;
+# wall-clock per example varies too much for hypothesis's default deadline,
+# and module-scoped engine fixtures are intentional (they are stateless
+# across runs).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")

@@ -1,0 +1,294 @@
+"""Tests for the synthetic Barton-like generator and dataset statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    BartonConfig,
+    compute_statistics,
+    cumulative_distribution,
+    generate_barton,
+    head_tail_weights,
+    sample_by_weights,
+    split_properties,
+    zipf_weights,
+)
+from repro.data.barton import (
+    CONFERENCES,
+    DLC,
+    END,
+    ENCODING,
+    FRENCH,
+    LANGUAGE,
+    ORIGIN,
+    POINT,
+    RECORDS,
+    TEXT,
+    TYPE,
+    WELL_KNOWN_PROPERTIES,
+)
+from repro.data.stats import frequency_table, top_share
+from repro.data.zipf import apportion
+from repro.errors import BenchmarkError
+
+
+class TestZipf:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        w = zipf_weights(100, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_zipf_weights_rejects_zero(self):
+        with pytest.raises(BenchmarkError):
+            zipf_weights(0)
+
+    def test_head_tail_mass_split(self):
+        w = head_tail_weights(222, head_fraction=0.13, head_mass=0.99)
+        n_head = int(np.ceil(0.13 * 222))
+        assert w[:n_head].sum() == pytest.approx(0.99)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_head_tail_all_head(self):
+        w = head_tail_weights(10, head_fraction=1.0)
+        assert len(w) == 10
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_head_tail_invalid_params(self):
+        with pytest.raises(BenchmarkError):
+            head_tail_weights(10, head_fraction=0.0)
+        with pytest.raises(BenchmarkError):
+            head_tail_weights(10, head_mass=1.5)
+        with pytest.raises(BenchmarkError):
+            head_tail_weights(0)
+
+    def test_apportion_sums_exactly(self):
+        counts = apportion(1000, zipf_weights(7, 1.3))
+        assert counts.sum() == 1000
+
+    def test_apportion_respects_ordering(self):
+        counts = apportion(10_000, zipf_weights(5, 1.5))
+        assert list(counts) == sorted(counts, reverse=True)
+
+    def test_sample_by_weights_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(BenchmarkError):
+            sample_by_weights(rng, [], 5)
+        with pytest.raises(BenchmarkError):
+            sample_by_weights(rng, [-1.0, 2.0], 5)
+        with pytest.raises(BenchmarkError):
+            sample_by_weights(rng, [0.0, 0.0], 5)
+
+    def test_sample_by_weights_shape(self):
+        rng = np.random.default_rng(0)
+        out = sample_by_weights(rng, [0.5, 0.5], 100)
+        assert out.shape == (100,)
+        assert set(np.unique(out)) <= {0, 1}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_barton(n_triples=30_000, seed=7)
+
+
+class TestBartonGenerator:
+    def test_triple_count_close_to_requested(self, dataset):
+        assert abs(len(dataset) - 30_000) / 30_000 < 0.02
+
+    def test_property_count(self, dataset):
+        props = {t.p for t in dataset.triples}
+        assert len(props) == 222
+        assert props == set(dataset.properties)
+
+    def test_type_is_most_frequent_property(self, dataset):
+        counts = frequency_table(dataset.triples, "p")
+        assert max(counts, key=counts.get) == TYPE
+        # <type> carries roughly a quarter of the triples (paper: 24.5%).
+        assert 0.15 < counts[TYPE] / len(dataset) < 0.35
+
+    def test_top_13_percent_of_properties_carry_99_percent(self, dataset):
+        counts = frequency_table(dataset.triples, "p")
+        assert top_share(counts, 0.13) > 0.97
+
+    def test_long_tail_has_tiny_properties(self, dataset):
+        counts = frequency_table(dataset.triples, "p")
+        tiny = sum(1 for c in counts.values() if c < 10)
+        assert tiny > 50  # many near-empty vertically-partitioned tables
+
+    def test_one_type_triple_per_entity(self, dataset):
+        type_subjects = [t.s for t in dataset.triples if t.p == TYPE]
+        # every entity plus the <conferences> hook subject, each exactly once
+        assert len(type_subjects) == len(set(type_subjects))
+        assert len(type_subjects) == dataset.n_entities + 1
+        assert CONFERENCES in type_subjects
+
+    def test_subjects_much_more_uniform_than_properties(self, dataset):
+        prop_counts = frequency_table(dataset.triples, "p")
+        subj_counts = frequency_table(dataset.triples, "s")
+        assert max(subj_counts.values()) < max(prop_counts.values()) / 10
+
+    def test_subject_object_overlap_is_large(self, dataset):
+        stats = compute_statistics(dataset.triples)
+        assert stats.subject_object_overlap > 0.2 * stats.distinct_subjects
+
+    def test_interesting_properties_include_query_hooks(self, dataset):
+        assert set(WELL_KNOWN_PROPERTIES) <= set(dataset.interesting_properties)
+        assert len(dataset.interesting_properties) == 28
+
+    def test_query_hooks_present(self, dataset):
+        g = dataset.graph()
+        assert any(g.match(p=TYPE, o=TEXT))
+        assert any(g.match(p=LANGUAGE, o=FRENCH))
+        assert any(g.match(p=ORIGIN, o=DLC))
+        assert any(g.match(p=POINT, o=END))
+        assert any(g.match(p=ENCODING))
+        assert any(g.match(s=CONFERENCES))
+
+    def test_q5_path_exists(self, dataset):
+        """Some subject with origin DLC records an entity whose type != Text."""
+        g = dataset.graph()
+        found = False
+        for a in g.match(p=ORIGIN, o=DLC):
+            for b in g.match(s=a.s, p=RECORDS):
+                for c in g.match(s=b.o, p=TYPE):
+                    if c.o != TEXT:
+                        found = True
+        assert found
+
+    def test_q8_path_exists(self, dataset):
+        g = dataset.graph()
+        shared = False
+        for a in g.match(s=CONFERENCES):
+            for b in g.match(o=a.o):
+                if b.s != CONFERENCES:
+                    shared = True
+        assert shared
+
+    def test_no_duplicate_triples(self, dataset):
+        assert len(dataset.triples) == len({t.as_tuple() for t in dataset.triples})
+
+    def test_deterministic_given_seed(self):
+        a = generate_barton(n_triples=5_000, seed=3)
+        b = generate_barton(n_triples=5_000, seed=3)
+        assert a.triples == b.triples
+
+    def test_different_seeds_differ(self):
+        a = generate_barton(n_triples=5_000, seed=3)
+        b = generate_barton(n_triples=5_000, seed=4)
+        assert a.triples != b.triples
+
+    def test_config_validation(self):
+        with pytest.raises(BenchmarkError):
+            generate_barton(n_triples=10)
+        with pytest.raises(BenchmarkError):
+            generate_barton(n_triples=5_000, n_properties=3)
+        with pytest.raises(BenchmarkError):
+            generate_barton(n_triples=5_000, n_interesting=500)
+        with pytest.raises(BenchmarkError):
+            BartonConfig(n_classes=4).validate()
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(BenchmarkError):
+            generate_barton(BartonConfig(), n_triples=1_000)
+
+    def test_scaling_property_count(self):
+        ds = generate_barton(n_triples=10_000, n_properties=50, seed=1)
+        assert len({t.p for t in ds.triples}) == 50
+
+
+class TestStatistics:
+    def test_table1_fields(self, dataset):
+        stats = compute_statistics(dataset.triples)
+        assert stats.total_triples == len(dataset)
+        assert stats.distinct_properties == 222
+        assert stats.distinct_subjects > 0
+        assert stats.distinct_objects > 0
+        assert stats.strings_in_dictionary <= (
+            stats.distinct_subjects + stats.distinct_properties + stats.distinct_objects
+        )
+        assert stats.data_set_bytes > stats.total_triples * 24
+
+    def test_rows_order_matches_table1(self, dataset):
+        rows = compute_statistics(dataset.triples).rows()
+        assert rows[0][0] == "total triples"
+        assert len(rows) == 7
+
+    def test_cumulative_distribution_axes(self, dataset):
+        counts = frequency_table(dataset.triples, "p")
+        x, y = cumulative_distribution(counts)
+        assert len(x) == len(y) == 222
+        assert x[-1] == pytest.approx(100.0)
+        assert y[-1] == pytest.approx(100.0)
+        assert np.all(np.diff(y) >= 0)
+
+    def test_cumulative_distribution_empty(self):
+        x, y = cumulative_distribution({})
+        assert len(x) == len(y) == 0
+
+    def test_property_curve_dominates_subject_curve(self, dataset):
+        """Figure 1: the property CDF rises far faster than the subject CDF."""
+        px, py = cumulative_distribution(frequency_table(dataset.triples, "p"))
+        sx, sy = cumulative_distribution(frequency_table(dataset.triples, "s"))
+        # At 10% of distinct values, properties cover far more of the triples.
+        p_at_10 = py[int(0.10 * len(py))]
+        s_at_10 = sy[int(0.10 * len(sy))]
+        assert p_at_10 > s_at_10 + 30
+
+
+class TestSplitting:
+    def test_split_reaches_target_count(self, dataset):
+        new_triples, props = split_properties(
+            dataset.triples, 400, seed=5, protected=WELL_KNOWN_PROPERTIES
+        )
+        assert len(props) == 400
+        assert len(new_triples) == len(dataset.triples)
+
+    def test_split_preserves_subject_object(self, dataset):
+        new_triples, _ = split_properties(
+            dataset.triples, 300, seed=5, protected=WELL_KNOWN_PROPERTIES
+        )
+        assert {(t.s, t.o) for t in new_triples} == {
+            (t.s, t.o) for t in dataset.triples
+        }
+
+    def test_protected_properties_untouched(self, dataset):
+        new_triples, props = split_properties(
+            dataset.triples, 350, seed=5, protected=WELL_KNOWN_PROPERTIES
+        )
+        for p in WELL_KNOWN_PROPERTIES:
+            assert p in props
+        before = sum(1 for t in dataset.triples if t.p == TYPE)
+        after = sum(1 for t in new_triples if t.p == TYPE)
+        assert before == after
+
+    def test_split_to_same_count_is_identity(self, dataset):
+        new_triples, props = split_properties(dataset.triples, 222, seed=5)
+        assert new_triples == dataset.triples
+
+    def test_cannot_shrink(self, dataset):
+        with pytest.raises(BenchmarkError):
+            split_properties(dataset.triples, 100)
+
+    def test_unreachable_target_raises(self):
+        from repro.model.triple import Triple
+
+        triples = [Triple("<a>", "<p>", "<b>")]
+        with pytest.raises(BenchmarkError):
+            split_properties(triples, 50, max_subproperties=3)
+
+    def test_split_is_deterministic(self, dataset):
+        a, _ = split_properties(dataset.triples, 300, seed=9)
+        b, _ = split_properties(dataset.triples, 300, seed=9)
+        assert a == b
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    total=st.integers(min_value=1, max_value=100_000),
+    n=st.integers(min_value=1, max_value=300),
+    exponent=st.floats(min_value=0.0, max_value=3.0),
+)
+def test_property_apportion_always_sums_to_total(total, n, exponent):
+    counts = apportion(total, zipf_weights(n, exponent))
+    assert counts.sum() == total
+    assert np.all(counts >= 0)

@@ -1,0 +1,265 @@
+"""Tests for the simulated disk, buffer pool, clock, and machine profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import (
+    MACHINE_A,
+    MACHINE_B,
+    MACHINE_C,
+    MACHINES,
+    BufferPool,
+    QueryClock,
+    SimulatedDisk,
+)
+from repro.errors import BufferPoolError
+
+MB = 1024 * 1024
+
+
+def make_pool(capacity_bytes=1024 * 1024, machine=MACHINE_A, page_size=8192,
+              max_run_bytes=None):
+    disk = SimulatedDisk(page_size=page_size)
+    clock = QueryClock(machine)
+    pool = BufferPool(disk, clock, capacity_bytes, max_run_bytes=max_run_bytes)
+    return disk, clock, pool
+
+
+class TestSimulatedDisk:
+    def test_segments_page_aligned_and_disjoint(self):
+        disk = SimulatedDisk(page_size=100)
+        a = disk.create_segment("a", 250)
+        b = disk.create_segment("b", 10)
+        assert a.page_span() == (0, 3)
+        assert b.page_span() == (3, 4)
+
+    def test_duplicate_segment_rejected(self):
+        disk = SimulatedDisk()
+        disk.create_segment("x", 10)
+        with pytest.raises(BufferPoolError):
+            disk.create_segment("x", 10)
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(BufferPoolError):
+            SimulatedDisk().segment("ghost")
+
+    def test_total_bytes(self):
+        disk = SimulatedDisk()
+        disk.create_segment("a", 100)
+        disk.create_segment("b", 200)
+        assert disk.total_bytes() == 300
+
+    def test_page_span_validates_range(self):
+        disk = SimulatedDisk(page_size=100)
+        seg = disk.create_segment("a", 250)
+        with pytest.raises(BufferPoolError):
+            seg.page_span(200, 100)
+        with pytest.raises(BufferPoolError):
+            seg.page_span(-1, 10)
+
+    def test_empty_read_span(self):
+        disk = SimulatedDisk(page_size=100)
+        seg = disk.create_segment("a", 250)
+        assert seg.page_span(10, 0) == (0, 0)
+
+
+class TestBufferPool:
+    def test_cold_read_charges_full_bytes(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 10 * 8192)
+        transferred = pool.read_segment(seg)
+        assert transferred == 10 * 8192
+        assert clock.bytes_read() == 10 * 8192
+
+    def test_hot_read_is_free(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 10 * 8192)
+        pool.read_segment(seg)
+        before = clock.timing()
+        assert pool.read_segment(seg) == 0
+        after = clock.timing()
+        assert after.real_seconds == before.real_seconds
+        assert after.bytes_read == before.bytes_read
+
+    def test_clear_makes_reads_cold_again(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 4 * 8192)
+        pool.read_segment(seg)
+        pool.clear()
+        assert pool.read_segment(seg) == 4 * 8192
+
+    def test_sequential_read_is_one_request(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 100 * 8192)
+        pool.read_segment(seg)
+        assert clock.timing().io_requests == 1
+
+    def test_max_run_bytes_splits_requests(self):
+        disk, clock, pool = make_pool(max_run_bytes=8192)
+        seg = disk.create_segment("col", 10 * 8192)
+        pool.read_segment(seg)
+        assert clock.timing().io_requests == 10
+
+    def test_small_requests_are_latency_bound(self):
+        """A 4x faster disk barely helps an engine issuing tiny requests
+        (the paper's C-Store observation, Section 3)."""
+        times = {}
+        for machine in (MACHINE_A, MACHINE_B):
+            disk, clock, pool = make_pool(
+                machine=machine, max_run_bytes=64 * 1024,
+                capacity_bytes=512 * MB,
+            )
+            seg = disk.create_segment("col", 100 * MB)
+            pool.read_segment(seg)
+            times[machine.name] = clock.timing().real_seconds
+        speedup = times["A"] / times["B"]
+        bandwidth_ratio = MACHINE_B.read_bandwidth / MACHINE_A.read_bandwidth
+        assert speedup < bandwidth_ratio / 2  # far from the 3.7x available
+
+    def test_large_requests_exploit_bandwidth(self):
+        times = {}
+        for machine in (MACHINE_A, MACHINE_B):
+            disk, clock, pool = make_pool(machine=machine, capacity_bytes=512 * MB)
+            seg = disk.create_segment("col", 100 * MB)
+            pool.read_segment(seg)
+            times[machine.name] = clock.timing().real_seconds
+        speedup = times["A"] / times["B"]
+        assert speedup > 3.0
+
+    def test_eviction_lru(self):
+        disk, clock, pool = make_pool(capacity_bytes=2 * 8192)
+        a = disk.create_segment("a", 8192)
+        b = disk.create_segment("b", 8192)
+        c = disk.create_segment("c", 8192)
+        pool.read_segment(a)
+        pool.read_segment(b)
+        pool.read_segment(c)  # evicts a
+        assert not pool.is_resident(a)
+        assert pool.is_resident(b)
+        assert pool.is_resident(c)
+
+    def test_lru_touch_on_hit(self):
+        disk, clock, pool = make_pool(capacity_bytes=2 * 8192)
+        a = disk.create_segment("a", 8192)
+        b = disk.create_segment("b", 8192)
+        c = disk.create_segment("c", 8192)
+        pool.read_segment(a)
+        pool.read_segment(b)
+        pool.read_segment(a)  # touch a; b becomes LRU
+        pool.read_segment(c)  # evicts b
+        assert pool.is_resident(a)
+        assert not pool.is_resident(b)
+
+    def test_partial_range_read(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 100 * 8192)
+        transferred = pool.read(seg, first_byte=0, nbytes=8192)
+        assert transferred == 8192
+
+    def test_read_pages_scattered(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 100 * 8192)
+        transferred = pool.read_pages(seg, [0, 5, 6, 7, 50])
+        assert transferred == 5 * 8192
+        # runs: [0], [5,6,7], [50] -> 3 requests
+        assert clock.timing().io_requests == 3
+
+    def test_read_pages_out_of_range(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 10 * 8192)
+        with pytest.raises(BufferPoolError):
+            pool.read_pages(seg, [100])
+
+    def test_read_pages_hit_then_miss(self):
+        disk, clock, pool = make_pool()
+        seg = disk.create_segment("col", 10 * 8192)
+        pool.read_pages(seg, [0, 1])
+        assert pool.read_pages(seg, [0, 1, 2]) == 8192
+
+    def test_tiny_pool_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, QueryClock(MACHINE_A), 100)
+
+
+class TestQueryClock:
+    def test_real_is_cpu_plus_io(self):
+        clock = QueryClock(MACHINE_A)
+        clock.charge_cpu(1.0)
+        clock.charge_io(MACHINE_A.read_bandwidth, 0)  # exactly 1 second
+        assert clock.real_seconds() == pytest.approx(2.0)
+        assert clock.user_seconds() == pytest.approx(1.0)
+
+    def test_cpu_scale_applies(self):
+        clock = QueryClock(MACHINE_B)
+        clock.charge_cpu(1.0)
+        assert clock.user_seconds() == pytest.approx(MACHINE_B.cpu_scale)
+
+    def test_reset(self):
+        clock = QueryClock(MACHINE_A)
+        clock.charge_cpu(1.0)
+        clock.reset()
+        assert clock.real_seconds() == 0.0
+        assert clock.io_history() == [(0.0, 0)]
+
+    def test_negative_charges_rejected(self):
+        clock = QueryClock(MACHINE_A)
+        with pytest.raises(ValueError):
+            clock.charge_cpu(-1)
+        with pytest.raises(ValueError):
+            clock.charge_io(-1, 0)
+
+    def test_io_history_monotone(self):
+        clock = QueryClock(MACHINE_A)
+        for _ in range(5):
+            clock.charge_io(1024, 1)
+        history = clock.io_history()
+        times = [t for t, _ in history]
+        sizes = [b for _, b in history]
+        assert times == sorted(times)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 5 * 1024
+
+    def test_timing_addition(self):
+        clock = QueryClock(MACHINE_A)
+        clock.charge_cpu(1.0)
+        t = clock.timing() + clock.timing()
+        assert t.user_seconds == pytest.approx(2.0)
+
+
+class TestMachines:
+    def test_table3_constants(self):
+        assert MACHINE_A.raid_disks == 2 and MACHINE_A.raid_level == 0
+        assert MACHINE_B.raid_disks == 10 and MACHINE_B.raid_level == 5
+        assert MACHINE_C.raid_disks == 3 and MACHINE_C.raid_level == 0
+        assert MACHINE_B.read_bandwidth > 3 * MACHINE_A.read_bandwidth
+
+    def test_machines_registry(self):
+        assert set(MACHINES) == {"A", "B", "C"}
+
+    def test_table3_row_fields(self):
+        row = MACHINE_A.table3_row()
+        assert row["Num. of CPU"] == 1
+        assert "AMD" in row["CPU"]
+        assert row["RAM size"] == "2 GB"
+
+    def test_machine_b_user_time_slightly_higher(self):
+        """Paper: user times slightly higher on B despite faster clock."""
+        assert MACHINE_B.cpu_scale > MACHINE_A.cpu_scale
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=8),
+    page_size=st.sampled_from([512, 4096, 8192]),
+)
+def test_property_cold_then_hot(sizes, page_size):
+    """Any cold read transfers everything once; a repeat transfers nothing."""
+    disk = SimulatedDisk(page_size=page_size)
+    clock = QueryClock(MACHINE_A)
+    pool = BufferPool(disk, clock, capacity_bytes=100 * MB)
+    segments = [
+        disk.create_segment(f"s{i}", n * page_size) for i, n in enumerate(sizes)
+    ]
+    total = sum(pool.read_segment(s) for s in segments)
+    assert total == sum(n * page_size for n in sizes)
+    assert sum(pool.read_segment(s) for s in segments) == 0

@@ -1,0 +1,277 @@
+"""Tests for the RDF data model: triples, parsing, graphs, patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.model import (
+    JOIN_PATTERNS,
+    RDFGraph,
+    SIMPLE_PATTERNS,
+    Triple,
+    TriplePattern,
+    JoinPattern,
+    Variable,
+    classify_join,
+    classify_pattern,
+    is_variable,
+    parse_ntriples_text,
+    serialize_ntriples,
+)
+from repro.model.patterns import design_space_size, query_coverage
+
+
+class TestTriple:
+    def test_behaves_like_tuple(self):
+        t = Triple("<s>", "<p>", "<o>")
+        assert tuple(t) == ("<s>", "<p>", "<o>")
+        assert t[0] == "<s>" and t[1] == "<p>" and t[2] == "<o>"
+        assert len(t) == 3
+
+    def test_equality_with_triple_and_tuple(self):
+        assert Triple("a", "b", "c") == Triple("a", "b", "c")
+        assert Triple("a", "b", "c") == ("a", "b", "c")
+        assert Triple("a", "b", "c") != Triple("a", "b", "d")
+
+    def test_hashable(self):
+        assert len({Triple("a", "b", "c"), Triple("a", "b", "c")}) == 1
+
+
+class TestVariable:
+    def test_name_normalization_strips_question_mark(self):
+        assert Variable("?s") == Variable("s")
+
+    def test_repr(self):
+        assert repr(Variable("obj")) == "?obj"
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("<constant>")
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestParser:
+    def test_parse_simple_document(self):
+        text = "<a> <p> <b> .\n<a> <q> \"lit\" .\n"
+        triples = parse_ntriples_text(text)
+        assert triples == [
+            Triple("<a>", "<p>", "<b>"),
+            Triple("<a>", "<q>", '"lit"'),
+        ]
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\n<a> <p> <b> .\n"
+        assert len(parse_ntriples_text(text)) == 1
+
+    def test_literal_with_escaped_quote(self):
+        text = '<a> <p> "say \\"hi\\"" .\n'
+        (t,) = parse_ntriples_text(text)
+        assert t.o == '"say \\"hi\\""'
+
+    def test_round_trip(self):
+        text = '<a> <p> <b> .\n<c> <d> "x y z" .\n'
+        assert serialize_ntriples(parse_ntriples_text(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a> <p> .",  # only two terms
+            "<a> <p> <b>",  # missing dot
+            "<a <p> <b> .",  # unterminated IRI
+            '<a> <p> "unterminated .',
+            "<a> <p> <b> <c> .",  # stray term before dot
+            "junk line",
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_ntriples_text(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as err:
+            parse_ntriples_text("<a> <p> <b> .\nbroken\n")
+        assert err.value.line == 2
+
+
+class TestRDFGraph:
+    @pytest.fixture
+    def graph(self):
+        return RDFGraph(
+            [
+                Triple("<e1>", "<type>", "<Text>"),
+                Triple("<e2>", "<type>", "<Date>"),
+                Triple("<e1>", "<language>", "<fre>"),
+                Triple("<e3>", "<records>", "<e1>"),
+            ]
+        )
+
+    def test_len_and_contains(self, graph):
+        assert len(graph) == 4
+        assert ("<e1>", "<type>", "<Text>") in graph
+        assert ("<e1>", "<type>", "<Date>") not in graph
+
+    def test_duplicates_ignored(self, graph):
+        assert graph.add(Triple("<e1>", "<type>", "<Text>")) is False
+        assert len(graph) == 4
+
+    def test_match_by_property(self, graph):
+        results = list(graph.match(p="<type>"))
+        assert len(results) == 2
+
+    def test_match_fully_bound(self, graph):
+        assert len(list(graph.match("<e1>", "<type>", "<Text>"))) == 1
+        assert len(list(graph.match("<e1>", "<type>", "<Date>"))) == 0
+
+    def test_match_unbound_returns_all(self, graph):
+        assert len(list(graph.match())) == 4
+
+    def test_match_treats_variables_as_unbound(self, graph):
+        results = list(graph.match(s=Variable("s"), p="<type>"))
+        assert len(results) == 2
+
+    def test_solve_single_pattern(self, graph):
+        sols = graph.solve([(Variable("s"), "<type>", "<Text>")])
+        assert sols == [{"s": "<e1>"}]
+
+    def test_solve_join_on_subject(self, graph):
+        sols = graph.solve(
+            [
+                (Variable("s"), "<type>", "<Text>"),
+                (Variable("s"), "<language>", Variable("l")),
+            ]
+        )
+        assert sols == [{"s": "<e1>", "l": "<fre>"}]
+
+    def test_solve_object_subject_join(self, graph):
+        sols = graph.solve(
+            [
+                (Variable("a"), "<records>", Variable("b")),
+                (Variable("b"), "<type>", Variable("t")),
+            ]
+        )
+        assert sols == [{"a": "<e3>", "b": "<e1>", "t": "<Text>"}]
+
+    def test_solve_no_solutions(self, graph):
+        assert graph.solve([(Variable("s"), "<nope>", Variable("o"))]) == []
+
+    def test_counts(self, graph):
+        assert graph.property_counts()["<type>"] == 2
+        assert graph.subject_counts()["<e1>"] == 2
+        assert graph.object_counts()["<e1>"] == 1
+
+
+class TestPatterns:
+    def test_all_eight_simple_patterns(self):
+        assert [name for name, _ in SIMPLE_PATTERNS] == [
+            f"p{i}" for i in range(1, 9)
+        ]
+
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            (("s", "p", "o"), "p1"),
+            ((Variable("s"), "p", "o"), "p2"),
+            (("s", Variable("p"), "o"), "p3"),
+            (("s", "p", Variable("o")), "p4"),
+            ((Variable("s"), Variable("p"), "o"), "p5"),
+            (("s", Variable("p"), Variable("o")), "p6"),
+            ((Variable("s"), "p", Variable("o")), "p7"),
+            ((Variable("s"), Variable("p"), Variable("o")), "p8"),
+        ],
+    )
+    def test_classification_matches_figure_2(self, pattern, expected):
+        assert classify_pattern(pattern) == expected
+
+    def test_join_pattern_classification(self):
+        assert JoinPattern("s", "s").classify() == "A"
+        assert JoinPattern("o", "o").classify() == "B"
+        assert JoinPattern("o", "s").classify() == "C"
+        assert JoinPattern("s", "o").classify() == "C"
+        assert JoinPattern("p", "p").classify() is None  # strongly typed
+        assert JoinPattern("s", "p").classify() is None  # RDF/S level
+
+    def test_join_pattern_names(self):
+        assert set(JOIN_PATTERNS) == {"A", "B", "C"}
+
+    def test_classify_join_across_patterns(self):
+        patterns = [
+            TriplePattern(Variable("x"), "<p>", Variable("y")),
+            TriplePattern(Variable("x"), "<q>", Variable("z")),
+        ]
+        assert classify_join(patterns, "x") == {"A"}
+
+    def test_classify_join_object_object(self):
+        patterns = [
+            TriplePattern("<a>", Variable("p"), Variable("y")),
+            TriplePattern(Variable("s"), Variable("q"), Variable("y")),
+        ]
+        assert classify_join(patterns, "y") == {"B"}
+
+    def test_query_coverage_q8_shape(self):
+        # q8: (s, ?p, ?o) join (?s, ?p2, ?o) on objects -> p6, p8, join B.
+        patterns = [
+            TriplePattern("<conferences>", Variable("p"), Variable("obj")),
+            TriplePattern(Variable("s"), Variable("q"), Variable("obj")),
+        ]
+        triple_classes, join_classes = query_coverage(patterns)
+        assert triple_classes == ["p6", "p8"]
+        assert join_classes == ["B"]
+
+    def test_design_space_size(self):
+        assert design_space_size() == 2**4 * 6**2
+
+    def test_variables_of_pattern(self):
+        p = TriplePattern(Variable("s"), "<p>", Variable("o"))
+        assert p.variables() == {"s", "o"}
+
+    def test_invalid_join_component(self):
+        with pytest.raises(ValueError):
+            JoinPattern("s", "x")
+
+
+# Property-based: the reference evaluator's solve() agrees with a brute-force
+# nested-loop evaluation over random small graphs.
+_terms = st.sampled_from(["<a>", "<b>", "<c>", "<d>"])
+_triples = st.lists(
+    st.tuples(_terms, st.sampled_from(["<p>", "<q>"]), _terms), max_size=25
+)
+
+
+@given(_triples)
+def test_property_match_agrees_with_bruteforce(triples):
+    g = RDFGraph(Triple(*t) for t in triples)
+    distinct = {Triple(*t) for t in triples}
+    for s in [None, "<a>"]:
+        for p in [None, "<p>"]:
+            for o in [None, "<b>"]:
+                expected = {
+                    t
+                    for t in distinct
+                    if (s is None or t.s == s)
+                    and (p is None or t.p == p)
+                    and (o is None or t.o == o)
+                }
+                assert set(g.match(s, p, o)) == expected
+
+
+@given(_triples)
+def test_property_solve_two_pattern_join(triples):
+    """solve() over a subject-subject join equals the nested-loop answer."""
+    g = RDFGraph(Triple(*t) for t in triples)
+    distinct = {Triple(*t) for t in triples}
+    got = g.solve(
+        [
+            (Variable("s"), "<p>", Variable("x")),
+            (Variable("s"), "<q>", Variable("y")),
+        ]
+    )
+    expected = []
+    for t1 in distinct:
+        for t2 in distinct:
+            if t1.p == "<p>" and t2.p == "<q>" and t1.s == t2.s:
+                expected.append({"s": t1.s, "x": t1.o, "y": t2.o})
+    key = lambda b: sorted(b.items())
+    assert sorted(got, key=key) == sorted(expected, key=key)

@@ -1,0 +1,160 @@
+"""Tests for the plan renderer, the error hierarchy, and misc utilities."""
+
+import pytest
+
+from repro import errors
+from repro.plan import (
+    Comparison,
+    Distinct,
+    Extend,
+    GroupBy,
+    Having,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    Union,
+)
+from repro.plan.render import render_plan
+
+
+def scan(alias="A"):
+    return Scan("triples", ["subj", "prop", "obj"], alias=alias)
+
+
+class TestRenderPlan:
+    def test_renders_every_node_kind(self):
+        plan = Limit(
+            Sort(
+                Project(
+                    Having(
+                        GroupBy(
+                            Join(
+                                Select(
+                                    Extend(scan("A"), "tag", 7),
+                                    [Comparison("A.prop", "=", 1)],
+                                ),
+                                scan("B"),
+                                on=[("A.subj", "B.subj")],
+                            ),
+                            keys=["B.prop"],
+                            count_column="count",
+                        ),
+                        Comparison("count", ">", 1),
+                    ),
+                    [("prop", "B.prop"), ("count", "count")],
+                ),
+                [("count", "desc")],
+            ),
+            10,
+        )
+        text = render_plan(plan)
+        for expected in (
+            "Limit", "Sort", "Project", "Having", "GroupBy", "Join",
+            "Select", "Extend", "Scan triples AS A",
+        ):
+            assert expected in text, expected
+
+    def test_indentation_reflects_depth(self):
+        plan = Select(scan(), [Comparison("A.subj", "=", 1)])
+        lines = render_plan(plan).splitlines()
+        assert lines[0].startswith("Select")
+        assert lines[1].startswith("  Scan")
+
+    def test_union_elision(self):
+        branches = [
+            Project(scan(f"A{i}"), [("s", f"A{i}.subj")]) for i in range(50)
+        ]
+        text = render_plan(Union(branches, distinct=False))
+        assert "more union branches" in text
+        assert text.count("Scan") <= 10
+
+    def test_small_union_not_elided(self):
+        branches = [
+            Project(scan(f"A{i}"), [("s", f"A{i}.subj")]) for i in range(2)
+        ]
+        text = render_plan(Union(branches))
+        assert "more union branches" not in text
+        assert "Union (2 branches)" in text
+
+    def test_distinct_rendering(self):
+        assert "Distinct" in render_plan(Distinct(scan()))
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in (
+            "DictionaryError", "ParseError", "SQLError", "PlanError",
+            "StorageError", "EngineError", "UnsupportedOperationError",
+            "BufferPoolError", "BenchmarkError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_sql_error_is_parse_error(self):
+        assert issubclass(errors.SQLError, errors.ParseError)
+
+    def test_unsupported_is_engine_error(self):
+        assert issubclass(
+            errors.UnsupportedOperationError, errors.EngineError
+        )
+
+    def test_buffer_pool_error_is_engine_error(self):
+        assert issubclass(errors.BufferPoolError, errors.EngineError)
+
+    def test_parse_error_location_formatting(self):
+        e = errors.ParseError("bad", line=3, column=7)
+        assert "line 3" in str(e) and "column 7" in str(e)
+        assert e.line == 3 and e.column == 7
+
+    def test_parse_error_line_only(self):
+        e = errors.ParseError("bad", line=3)
+        assert "line 3" in str(e) and "column" not in str(e)
+
+    def test_parse_error_no_location(self):
+        assert str(errors.ParseError("just bad")) == "just bad"
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.StorageError("boom")
+
+
+class TestComparisonRepr:
+    def test_repr_is_informative(self):
+        assert "=" in repr(Comparison("x", "=", 5))
+        assert "x" in repr(Comparison("x", "=", 5))
+
+    def test_plan_reprs(self):
+        assert "Scan" in repr(scan())
+        assert "Join" in repr(Join(scan("A"), scan("B"), on=[("A.subj", "B.subj")]))
+        assert "GroupBy" in repr(GroupBy(scan(), keys=["A.prop"]))
+        assert "Sort" in repr(Sort(scan(), [("A.subj", "asc")]))
+        assert "Limit(3)" in repr(Limit(scan(), 3))
+        assert "Extend" in repr(Extend(scan(), "tag", 1))
+        assert "UNION ALL" in repr(Union([scan()], distinct=False))
+
+
+class TestColumnComparisonRendering:
+    def test_select_with_column_comparison(self):
+        from repro.plan import ColumnComparison
+
+        plan = Select(
+            scan(), [ColumnComparison("A.subj", "=", "A.obj")]
+        )
+        text = render_plan(plan)
+        assert "A.subj = A.obj" in text
+
+    def test_mixed_predicates(self):
+        from repro.plan import ColumnComparison
+
+        plan = Select(
+            scan(),
+            [
+                Comparison("A.prop", "=", 3),
+                ColumnComparison("A.subj", "!=", "A.obj"),
+            ],
+        )
+        text = render_plan(plan)
+        assert "A.prop = 3" in text and "A.subj != A.obj" in text

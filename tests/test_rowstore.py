@@ -1,0 +1,331 @@
+"""Tests for the row-store engine: correctness, access paths, costs."""
+
+import numpy as np
+import pytest
+
+from repro.colstore import ColumnStoreEngine
+from repro.errors import StorageError
+from repro.plan import (
+    Comparison,
+    Distinct,
+    GroupBy,
+    Having,
+    Join,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.rowstore import RowStoreEngine
+
+PERMS = {
+    "spo": ["subj", "prop", "obj"],
+    "pso": ["prop", "subj", "obj"],
+    "pos": ["prop", "obj", "subj"],
+    "osp": ["obj", "subj", "prop"],
+}
+
+
+def make_engine(clustering="pso", secondary=("pos", "osp"), n=None, data=None):
+    engine = RowStoreEngine()
+    if data is None:
+        data = {
+            "subj": np.array([0, 1, 2, 3, 4, 5]),
+            "prop": np.array([10, 10, 11, 11, 12, 12]),
+            "obj": np.array([20, 21, 20, 22, 23, 20]),
+        }
+    engine.create_table(
+        "t",
+        data,
+        sort_by=PERMS[clustering],
+        indexes=[{"name": f"idx_{p}", "columns": PERMS[p]} for p in secondary],
+    )
+    return engine
+
+
+def scan(alias=None, table="t"):
+    return Scan(table, ["subj", "prop", "obj"], alias=alias)
+
+
+class TestDDL:
+    def test_duplicate_table_rejected(self):
+        engine = make_engine()
+        with pytest.raises(StorageError):
+            engine.create_table("t", {"x": [1]})
+
+    def test_index_on_missing_column_rejected(self):
+        engine = RowStoreEngine()
+        with pytest.raises(StorageError):
+            engine.create_table(
+                "u", {"x": [1]}, sort_by=["x"],
+                indexes=[{"name": "bad", "columns": ["y"]}],
+            )
+
+    def test_clustered_index_created(self):
+        engine = make_engine()
+        table = engine.table("t")
+        assert table.clustered_index() is not None
+        assert len(table.secondary_indexes()) == 2
+
+    def test_heap_sorted_by_clustering(self):
+        engine = make_engine("pso")
+        rows = engine.table("t").rows
+        keys = [(r[1], r[0], r[2]) for r in rows]  # prop, subj, obj
+        assert keys == sorted(keys)
+
+    def test_database_bytes_includes_indexes(self):
+        engine = make_engine()
+        table = engine.table("t")
+        assert table.bytes_on_disk() > table.heap_segment.nbytes
+
+
+class TestExecutionCorrectness:
+    """The row store must compute the same answers as the column store."""
+
+    @pytest.fixture
+    def engines(self):
+        rng = np.random.default_rng(3)
+        n = 2000
+        data = {
+            "subj": rng.integers(0, 300, n),
+            "prop": rng.integers(0, 10, n),
+            "obj": rng.integers(0, 100, n),
+        }
+        row = make_engine(data=data)
+        col = ColumnStoreEngine()
+        col.create_table("t", data, sort_by=PERMS["pso"])
+        return row, col
+
+    def assert_same(self, engines, plan):
+        row, col = engines
+        got = row.execute(plan).sorted_tuples(order=plan.output_columns())
+        expected = col.execute(plan).sorted_tuples(order=plan.output_columns())
+        assert got == expected
+        return got
+
+    def test_select_equality(self, engines):
+        plan = Select(scan(), [Comparison("prop", "=", 3)])
+        rows = self.assert_same(engines, plan)
+        assert len(rows) > 0
+
+    def test_select_conjunction(self, engines):
+        plan = Select(
+            scan(), [Comparison("prop", "=", 3), Comparison("obj", "!=", 5)]
+        )
+        self.assert_same(engines, plan)
+
+    def test_join_on_subject(self, engines):
+        a = Select(scan("A"), [Comparison("A.prop", "=", 3)])
+        b = Select(scan("B"), [Comparison("B.prop", "=", 4)])
+        plan = Join(a, b, on=[("A.subj", "B.subj")])
+        rows = self.assert_same(engines, plan)
+        assert len(rows) > 0
+
+    def test_join_object_object(self, engines):
+        a = Select(scan("A"), [Comparison("A.prop", "=", 1)])
+        b = Select(scan("B"), [Comparison("B.prop", "=", 2)])
+        plan = Join(a, b, on=[("A.obj", "B.obj")])
+        self.assert_same(engines, plan)
+
+    def test_group_by(self, engines):
+        plan = GroupBy(scan(), keys=["prop"], count_column="n")
+        self.assert_same(engines, plan)
+
+    def test_group_by_global(self, engines):
+        plan = GroupBy(scan(), keys=[], count_column="n")
+        rows = self.assert_same(engines, plan)
+        assert rows == [(2000,)]
+
+    def test_having(self, engines):
+        plan = Having(
+            GroupBy(scan(), keys=["obj"], count_column="n"),
+            Comparison("n", ">", 20),
+        )
+        self.assert_same(engines, plan)
+
+    def test_union_distinct(self, engines):
+        one = Project(
+            Select(scan("A"), [Comparison("A.prop", "=", 1)]),
+            [("s", "A.subj")],
+        )
+        two = Project(
+            Select(scan("B"), [Comparison("B.prop", "=", 2)]),
+            [("s", "B.subj")],
+        )
+        self.assert_same(engines, Union([one, two], distinct=True))
+        self.assert_same(engines, Union([one, two], distinct=False))
+
+    def test_distinct(self, engines):
+        plan = Distinct(Project(scan("A"), [("o", "A.obj")]))
+        self.assert_same(engines, plan)
+
+    def test_three_way_join(self, engines):
+        a = Select(scan("A"), [Comparison("A.prop", "=", 1)])
+        b = Select(scan("B"), [Comparison("B.prop", "=", 2)])
+        c = Select(scan("C"), [Comparison("C.prop", "=", 3)])
+        plan = Join(
+            Join(a, b, on=[("A.subj", "B.subj")]),
+            c,
+            on=[("B.subj", "C.subj")],
+        )
+        self.assert_same(engines, plan)
+
+    def test_missing_constant_empty(self, engines):
+        plan = Select(scan(), [Comparison("prop", "=", None)])
+        assert self.assert_same(engines, plan) == []
+
+    def test_inequality_only_seq_scan(self, engines):
+        plan = Select(scan(), [Comparison("obj", "!=", 5)])
+        self.assert_same(engines, plan)
+
+
+class TestAccessPathBehaviour:
+    def big_engine(self, clustering, secondary):
+        rng = np.random.default_rng(0)
+        n = 50_000
+        data = {
+            "subj": rng.integers(0, 10_000, n),
+            "prop": np.sort(rng.integers(0, 50, n)),  # any order; resorted
+            "obj": rng.integers(0, 5_000, n),
+        }
+        return make_engine(clustering=clustering, secondary=secondary, data=data)
+
+    def test_pso_clustering_beats_spo_for_property_queries(self):
+        """The paper's central row-store finding: queries binding the
+        property read far less through PSO clustering than SPO."""
+        plan = Select(scan(), [Comparison("prop", "=", 7)])
+        times = {}
+        for clustering in ("spo", "pso"):
+            engine = self.big_engine(clustering, secondary=())
+            engine.make_cold()
+            _, timing = engine.run(plan)
+            times[clustering] = timing
+        assert times["pso"].bytes_read < times["spo"].bytes_read / 3
+        assert times["pso"].real_seconds < times["spo"].real_seconds
+
+    def test_secondary_index_used_when_better(self):
+        """With SPO clustering, a POS secondary turns a full scan into an
+        index lookup (paying scattered heap fetches)."""
+        plan = Select(
+            scan(), [Comparison("prop", "=", 7), Comparison("obj", "=", 100)]
+        )
+        without = self.big_engine("spo", secondary=())
+        with_idx = self.big_engine("spo", secondary=("pos",))
+        without.make_cold()
+        _, t_without = without.run(plan)
+        with_idx.make_cold()
+        _, t_with = with_idx.run(plan)
+        assert t_with.bytes_read < t_without.bytes_read
+        assert t_with.real_seconds < t_without.real_seconds
+
+    def test_hot_cheaper_than_cold(self):
+        engine = self.big_engine("pso", secondary=("pos",))
+        plan = Select(scan(), [Comparison("prop", "=", 7)])
+        engine.make_cold()
+        _, cold = engine.run(plan)
+        _, hot = engine.run(plan)
+        assert hot.real_seconds < cold.real_seconds
+        assert hot.bytes_read == 0
+
+    def test_index_nested_loop_for_small_outer(self):
+        """A highly selective outer probes the inner's index instead of
+        scanning the inner heap: far fewer bytes than two full scans."""
+        engine = self.big_engine("pso", secondary=("spo",))
+        a = Select(
+            scan("A"),
+            [Comparison("A.prop", "=", 7), Comparison("A.obj", "=", 100)],
+        )
+        b = scan("B")
+        plan = Join(
+            Project(a, [("s", "A.subj")]), b, on=[("s", "B.subj")]
+        )
+        engine.make_cold()
+        relation, timing = engine.run(plan)
+        heap_bytes = engine.table("t").heap_segment.nbytes
+        assert timing.bytes_read < heap_bytes / 2
+
+    def test_hash_join_for_large_outer(self):
+        """A large outer falls back to a hash join: full scans, but few
+        seek-bound requests."""
+        engine = self.big_engine("pso", secondary=("spo",))
+        a = Select(scan("A"), [Comparison("A.prop", "=", 7)])
+        b = scan("B")
+        plan = Join(
+            Project(a, [("s", "A.subj")]), b, on=[("s", "B.subj")]
+        )
+        engine.make_cold()
+        _, timing = engine.run(plan)
+        # Far fewer requests than one-per-outer-row probing would need.
+        assert timing.io_requests < 500
+
+    def test_plan_operator_overhead(self):
+        engine = make_engine()
+        small = Project(scan("A"), [("s", "A.subj")])
+        parts = [
+            Project(scan(f"A{i}"), [("s", f"A{i}.subj")]) for i in range(40)
+        ]
+        big = Union(parts, distinct=False)
+        _, t_small = engine.run(small)
+        _, t_big = engine.run(big)
+        assert t_big.user_seconds > t_small.user_seconds * 5
+
+
+class TestRowVsColumnCosts:
+    def test_row_store_cpu_slower_than_column_store(self):
+        """Tables 6/7: the column store wins by an order of magnitude on
+        identical work."""
+        rng = np.random.default_rng(1)
+        n = 100_000
+        data = {
+            "subj": rng.integers(0, 30_000, n),
+            "prop": rng.integers(0, 50, n),
+            "obj": rng.integers(0, 10_000, n),
+        }
+        row = make_engine(data=data, secondary=())
+        col = ColumnStoreEngine()
+        col.create_table("t", data, sort_by=PERMS["pso"])
+        plan = GroupBy(scan(), keys=["prop"], count_column="n")
+        # Hot runs: compare pure CPU.
+        row.run(plan)
+        col.run(plan)
+        _, t_row = row.run(plan)
+        _, t_col = col.run(plan)
+        # Fixed per-query overheads dilute the ratio at unit-test scale;
+        # the per-tuple gap itself is ~10x (see the cost models).
+        assert t_row.user_seconds > 2.5 * t_col.user_seconds
+
+
+class TestAccessPathRegressions:
+    def test_contradictory_equalities_on_indexed_column(self):
+        """Regression (found by differential testing): two different
+        equality constants on the same indexed column must yield the empty
+        result — only the predicate instance bound into the index prefix is
+        satisfied by the range; the other stays a residual filter."""
+        engine = make_engine("pso")
+        plan = Select(
+            scan(),
+            [Comparison("prop", "=", 10), Comparison("prop", "=", 11)],
+        )
+        assert engine.execute(plan).n_rows == 0
+
+    def test_duplicate_identical_equalities(self):
+        engine = make_engine("pso")
+        plan = Select(
+            scan(),
+            [Comparison("prop", "=", 10), Comparison("prop", "=", 10)],
+        )
+        assert engine.execute(plan).n_rows == 2
+
+    def test_scan_column_subset_alignment(self):
+        """Regression: a scan exposing a column subset must project
+        physical rows (the wide property table exposed misalignment)."""
+        engine = RowStoreEngine()
+        engine.create_table(
+            "wide",
+            {"a": np.array([1, 2]), "b": np.array([10, 20]),
+             "c": np.array([100, 200])},
+            sort_by=["a"],
+        )
+        plan = Scan("wide", ["c", "a"])
+        rel = engine.execute(plan)
+        assert rel.sorted_tuples(order=["c", "a"]) == [(100, 1), (200, 2)]

@@ -1,0 +1,277 @@
+"""Tests for the storage-scheme builders and catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.colstore import ColumnStoreEngine
+from repro.data import generate_barton
+from repro.errors import StorageError
+from repro.model.triple import Triple
+from repro.rowstore import RowStoreEngine
+from repro.storage import build_triple_store, build_vertical_store
+from repro.storage.catalog import CLUSTERINGS, clustering_columns
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_barton(n_triples=5_000, n_properties=30, seed=5)
+
+
+class TestClusterings:
+    def test_all_six_permutations(self):
+        assert len(CLUSTERINGS) == 6
+        for name, cols in CLUSTERINGS.items():
+            assert sorted(cols) == ["obj", "prop", "subj"]
+
+    def test_lookup_case_insensitive(self):
+        assert clustering_columns("pso") == ("prop", "subj", "obj")
+
+    def test_unknown_clustering(self):
+        with pytest.raises(StorageError):
+            clustering_columns("XYZ")
+
+
+class TestTripleStoreBuilder:
+    def test_column_store_pso(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties,
+            clustering="PSO",
+        )
+        assert cat.is_triple_store()
+        table = engine.table("triples")
+        assert table.n_rows == len(dataset.triples)
+        assert table.sort_order == ["prop", "subj", "obj"]
+        prop = table.array("prop")
+        assert (np.diff(prop) >= 0).all()
+
+    def test_row_store_gets_indexes(self, dataset):
+        engine = RowStoreEngine()
+        cat = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties,
+            clustering="PSO",
+        )
+        table = engine.table("triples")
+        # PSO: clustered + 5 secondary permutations.
+        assert len(table.secondary_indexes()) == 5
+
+    def test_row_store_spo_has_two_secondaries(self, dataset):
+        engine = RowStoreEngine()
+        build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties,
+            clustering="SPO",
+        )
+        table = engine.table("triples")
+        names = sorted(i.name for i in table.secondary_indexes())
+        assert names == ["idx_osp", "idx_pos"]
+
+    def test_properties_table_holds_interesting(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        props = engine.table("properties")
+        assert props.n_rows == len(dataset.interesting_properties)
+        decoded = {cat.dictionary.decode(v) for v in props.array("prop")}
+        assert decoded == set(dataset.interesting_properties)
+
+    def test_dictionary_round_trip(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        t = dataset.triples[0]
+        table = engine.table("triples")
+        oids = (
+            cat.dictionary.lookup(t.s),
+            cat.dictionary.lookup(t.p),
+            cat.dictionary.lookup(t.o),
+        )
+        rows = set(
+            zip(
+                table.array("subj").tolist(),
+                table.array("prop").tolist(),
+                table.array("obj").tolist(),
+            )
+        )
+        assert oids in rows
+
+    def test_encode_missing_constant(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        assert cat.encode("<never-seen>") is None
+
+
+class TestVerticalStoreBuilder:
+    def test_one_table_per_property(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        assert cat.is_vertical()
+        assert len(cat.property_tables) == 30
+        total = sum(
+            engine.table(t).n_rows for t in cat.property_tables.values()
+        )
+        assert total == len(dataset.triples)
+
+    def test_tables_sorted_so(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        table = engine.table(cat.property_table("<type>"))
+        subj = table.array("subj")
+        assert (np.diff(subj) >= 0).all()
+
+    def test_row_store_gets_os_secondary(self, dataset):
+        engine = RowStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        table = engine.table(cat.property_table("<type>"))
+        assert table.clustering == ["subj", "obj"]
+        (os_index,) = table.secondary_indexes()
+        assert os_index.key_columns == ["obj", "subj"]
+
+    def test_small_tail_tables_exist(self, dataset):
+        """Paper: 'many with just a small number of rows (less than 10)'."""
+        engine = ColumnStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        sizes = [
+            engine.table(t).n_rows for t in cat.property_tables.values()
+        ]
+        assert min(sizes) < 10
+
+    def test_missing_property_table_raises(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        with pytest.raises(StorageError):
+            cat.property_table("<ghost>")
+
+    def test_properties_for_scopes(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        assert len(cat.properties_for("interesting")) == 28
+        assert len(cat.properties_for("all")) == 30
+        assert cat.properties_for(["<type>"]) == ["<type>"]
+
+    def test_all_properties_sorted_by_frequency(self, dataset):
+        engine = ColumnStoreEngine()
+        cat = build_vertical_store(
+            engine, dataset.triples, dataset.interesting_properties,
+        )
+        sizes = [
+            engine.table(cat.property_table(p)).n_rows
+            for p in cat.all_properties
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSchemeFootprints:
+    def test_vertical_smaller_than_triple_on_disk(self, dataset):
+        """Two columns per table instead of three: the vertical scheme's raw
+        data footprint is smaller."""
+        col_t = ColumnStoreEngine()
+        build_triple_store(
+            col_t, dataset.triples, dataset.interesting_properties
+        )
+        col_v = ColumnStoreEngine()
+        build_vertical_store(
+            col_v, dataset.triples, dataset.interesting_properties
+        )
+        triples_bytes = col_t.table("triples").bytes_on_disk()
+        vertical_bytes = sum(
+            col_v.table(t).bytes_on_disk()
+            for t in col_v.table_names()
+            if t.startswith("vp_")
+        )
+        assert vertical_bytes < triples_bytes
+
+    def test_shared_dictionary_between_schemes(self, dataset):
+        from repro.dictionary import Dictionary
+
+        d = Dictionary()
+        col = ColumnStoreEngine()
+        cat1 = build_triple_store(
+            col, dataset.triples, dataset.interesting_properties,
+            dictionary=d, table_name="triples",
+        )
+        col2 = ColumnStoreEngine()
+        cat2 = build_vertical_store(
+            col2, dataset.triples, dataset.interesting_properties,
+            dictionary=d,
+        )
+        assert cat1.dictionary.lookup("<type>") == cat2.dictionary.lookup("<type>")
+
+
+class TestOrderPreservingEncoding:
+    def test_builders_produce_order_preserving_dictionaries(self, dataset):
+        from repro.storage.encoding import is_order_preserving
+
+        for build in (build_triple_store, build_vertical_store):
+            engine = ColumnStoreEngine()
+            catalog = build(
+                engine, dataset.triples, dataset.interesting_properties
+            )
+            assert is_order_preserving(catalog.dictionary)
+
+    def test_oid_comparisons_realize_string_comparisons(self, dataset):
+        engine = ColumnStoreEngine()
+        catalog = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties
+        )
+        d = catalog.dictionary
+        strings = sorted({t.p for t in dataset.triples})[:10]
+        oids = [d.lookup(s) for s in strings]
+        assert oids == sorted(oids)
+
+    def test_maintenance_appends_break_order_preservation(self, dataset):
+        """New strings get appended oids — order preservation is a
+        load-time property, lost until reorganization (documented)."""
+        from repro.model.triple import Triple
+        from repro.storage.encoding import is_order_preserving
+        from repro.storage.maintenance import insert_triples
+
+        engine = ColumnStoreEngine()
+        catalog = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties
+        )
+        catalog, _ = insert_triples(
+            engine, catalog, [Triple("<aaa-first>", "<prop/0>", "<zzz>")]
+        )
+        assert not is_order_preserving(catalog.dictionary)
+
+
+def test_property_order_preserving_dictionary():
+    """Hypothesis: any vocabulary gets order-isomorphic oids."""
+    from hypothesis import given, strategies as st
+    from repro.model.triple import Triple
+    from repro.storage.encoding import (
+        is_order_preserving,
+        order_preserving_dictionary,
+    )
+
+    @given(
+        st.lists(
+            st.tuples(st.text(max_size=8), st.text(max_size=8),
+                      st.text(max_size=8)),
+            max_size=30,
+        )
+    )
+    def check(raw):
+        triples = [Triple(*t) for t in raw]
+        d = order_preserving_dictionary(triples)
+        assert is_order_preserving(d)
+        strings = sorted({x for t in triples for x in t})
+        assert [d.lookup(s) for s in strings] == list(range(len(strings)))
+
+    check()

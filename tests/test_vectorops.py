@@ -1,0 +1,150 @@
+"""Tests for the vectorized relational primitives (including hypothesis
+equivalence against brute-force implementations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.colstore.vectorops import (
+    distinct_rows,
+    factorize_rows,
+    factorize_rows_shared,
+    group_count,
+    join_indices,
+)
+
+keys = st.lists(st.integers(min_value=0, max_value=8), max_size=40)
+
+
+class TestJoinIndices:
+    def test_simple_join(self):
+        li, ri = join_indices([1, 2, 3], [2, 3, 4])
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (2, 1)]
+
+    def test_many_to_many(self):
+        li, ri = join_indices([1, 1], [1, 1, 1])
+        assert len(li) == 6
+
+    def test_empty_sides(self):
+        for l, r in ([[], [1]], [[1], []], [[], []]):
+            li, ri = join_indices(l, r)
+            assert len(li) == len(ri) == 0
+
+    def test_no_matches(self):
+        li, ri = join_indices([1, 2], [3, 4])
+        assert len(li) == 0
+
+    def test_left_order_preserved(self):
+        li, _ = join_indices([5, 1, 5, 2], [5, 1, 2])
+        assert li.tolist() == sorted(li.tolist())
+
+
+@given(keys, keys)
+def test_property_join_matches_bruteforce(left, right):
+    li, ri = join_indices(left, right)
+    got = sorted(zip(li.tolist(), ri.tolist()))
+    expected = sorted(
+        (i, j)
+        for i, l in enumerate(left)
+        for j, r in enumerate(right)
+        if l == r
+    )
+    assert got == expected
+
+
+class TestFactorize:
+    def test_single_column(self):
+        codes, n = factorize_rows([np.array([5, 3, 5])])
+        assert n == 2
+        assert codes[0] == codes[2] != codes[1]
+
+    def test_multi_column(self):
+        codes, n = factorize_rows(
+            [np.array([1, 1, 2]), np.array([1, 1, 1])]
+        )
+        assert n == 2
+        assert codes[0] == codes[1] != codes[2]
+
+    def test_empty(self):
+        codes, n = factorize_rows([np.array([], dtype=np.int64)])
+        assert n == 0 and len(codes) == 0
+
+    def test_requires_arrays(self):
+        with pytest.raises(ValueError):
+            factorize_rows([])
+
+    def test_shared_code_space(self):
+        lc, rc = factorize_rows_shared(
+            [np.array([1, 2])], [np.array([2, 3])]
+        )
+        assert lc[1] == rc[0]
+        assert lc[0] != rc[1]
+
+
+@given(keys, keys)
+def test_property_shared_factorization_join_equivalence(left, right):
+    """Joining on shared codes equals joining on raw values."""
+    if not left or not right:
+        return
+    lc, rc = factorize_rows_shared([np.array(left)], [np.array(right)])
+    li1, ri1 = join_indices(lc, rc)
+    li2, ri2 = join_indices(left, right)
+    assert sorted(zip(li1.tolist(), ri1.tolist())) == sorted(
+        zip(li2.tolist(), ri2.tolist())
+    )
+
+
+class TestGroupCount:
+    def test_counts(self):
+        (k,), c = group_count([np.array([2, 1, 2, 2])])
+        assert k.tolist() == [1, 2]
+        assert c.tolist() == [1, 3]
+
+    def test_multi_key(self):
+        keys_out, c = group_count(
+            [np.array([1, 1, 2]), np.array([7, 7, 7])]
+        )
+        assert keys_out[0].tolist() == [1, 2]
+        assert keys_out[1].tolist() == [7, 7]
+        assert c.tolist() == [2, 1]
+
+    def test_empty(self):
+        (k,), c = group_count([np.array([], dtype=np.int64)])
+        assert len(k) == 0 and len(c) == 0
+
+
+@given(keys)
+def test_property_group_count_matches_counter(values):
+    from collections import Counter
+
+    (k,), c = group_count([np.array(values, dtype=np.int64)])
+    assert dict(zip(k.tolist(), c.tolist())) == dict(Counter(values))
+
+
+class TestDistinct:
+    def test_distinct_single(self):
+        idx = distinct_rows([np.array([3, 1, 3, 2])])
+        values = np.array([3, 1, 3, 2])[idx]
+        assert sorted(values.tolist()) == [1, 2, 3]
+
+    def test_distinct_multi(self):
+        a = np.array([1, 1, 1])
+        b = np.array([2, 2, 3])
+        idx = distinct_rows([a, b])
+        assert len(idx) == 2
+
+    def test_distinct_empty(self):
+        assert len(distinct_rows([np.array([], dtype=np.int64)])) == 0
+
+
+@given(keys, keys)
+def test_property_distinct_matches_set(a, b):
+    n = min(len(a), len(b))
+    if n == 0:
+        return
+    arr_a, arr_b = np.array(a[:n]), np.array(b[:n])
+    idx = distinct_rows([arr_a, arr_b])
+    got = {(arr_a[i], arr_b[i]) for i in idx.tolist()}
+    assert got == set(zip(a[:n], b[:n]))
+    assert len(idx) == len(got)
