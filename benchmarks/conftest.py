@@ -12,6 +12,7 @@ Environment knobs:
 * ``REPRO_BENCH_SEED`` — generator seed (default 42).
 """
 
+import json
 import os
 import pathlib
 
@@ -38,7 +39,8 @@ def dataset():
 
 @pytest.fixture(scope="session")
 def publish():
-    """Print a regenerated table and persist it under benchmarks/output/."""
+    """Print a regenerated table and persist it under benchmarks/output/
+    — human-readable ``.txt`` plus a machine-readable ``.json`` twin."""
     OUTPUT_DIR.mkdir(exist_ok=True)
 
     def _publish(result):
@@ -46,11 +48,20 @@ def publish():
         for r in results:
             if isinstance(r, tuple):
                 name, text = r
+                document = {"name": name, "text": text}
             else:
                 name, text = r.name, r.render()
+                document = r.to_dict()
+            document.setdefault("parameters", {})
+            document["parameters"].update(
+                {"triples": bench_triples(), "seed": bench_seed()}
+            )
             print()
             print(text)
             (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+            (OUTPUT_DIR / f"{name}.json").write_text(
+                json.dumps(document, indent=2) + "\n"
+            )
         return results
 
     return _publish

@@ -54,6 +54,30 @@ class ExperimentResult:
             text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
         return text
 
+    def to_dict(self):
+        """JSON-safe form (cells coerced to plain scalars or strings)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_json_value(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+            "series": {
+                label: [_json_value(v) for v in values]
+                for label, values in self.series.items()
+            },
+            "x_values": [_json_value(v) for v in self.x_values],
+            "x_label": self.x_label,
+        }
+
+
+def _json_value(value):
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
 
 # ---------------------------------------------------------------------------
 # Table 1 / Figure 1 / Table 2 / Table 3

@@ -8,12 +8,17 @@
         --sql "SELECT A.obj, count(*) FROM triples AS A GROUP BY A.obj"
     python -m repro bench --experiment table6 --triples 60000
     python -m repro bench --list
+    python -m repro profile q2 --engine column --mode cold
+    python -m repro -v verify --triples 20000
 """
 
 import argparse
 import sys
 
 from repro import __version__
+from repro.observe.log import configure_logging, get_logger
+
+log = get_logger("cli")
 
 
 def build_parser():
@@ -24,6 +29,10 @@ def build_parser():
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable debug logging (place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -67,6 +76,36 @@ def build_parser():
         "--list", action="store_true", help="list experiment names"
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="EXPLAIN ANALYZE a query: per-operator rows, simulated time, "
+             "buffer and disk activity",
+    )
+    profile.add_argument(
+        "query",
+        help="benchmark query name (q1..q8, q2*..q6*), SPARQL, or SQL",
+    )
+    profile.add_argument("--data", help="N-Triples file (default: generate)")
+    profile.add_argument("--triples", type=int, default=20_000)
+    profile.add_argument("--properties", type=int, default=60)
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument(
+        "--engine", choices=("column", "row"), default="column"
+    )
+    profile.add_argument(
+        "--scheme", choices=("vertical", "triple"), default="vertical"
+    )
+    profile.add_argument("--clustering", default="PSO")
+    profile.add_argument("--mode", choices=("cold", "hot"), default="cold")
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable profile document",
+    )
+    profile.add_argument(
+        "--metrics", action="store_true",
+        help="append the full metrics registry to the text report",
+    )
+
     verify = sub.add_parser(
         "verify",
         help="cross-check every engine x scheme against the reference "
@@ -81,10 +120,12 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     handler = {
         "generate": _command_generate,
         "query": _command_query,
         "bench": _command_bench,
+        "profile": _command_profile,
         "verify": _command_verify,
     }[args.command]
     return handler(args)
@@ -110,9 +151,9 @@ def _command_generate(args):
     else:
         with open(args.out, "w") as handle:
             handle.write(text)
-        print(
-            f"wrote {len(dataset.triples)} triples "
-            f"({len(dataset.properties)} properties) to {args.out}"
+        log.info(
+            "wrote %d triples (%d properties) to %s",
+            len(dataset.triples), len(dataset.properties), args.out,
         )
     return 0
 
@@ -143,12 +184,10 @@ def _command_query(args):
         rows, timing = store.benchmark_query(args.benchmark, mode=args.mode)
         for row in rows:
             print("\t".join(str(v) for v in row))
-        print(
-            f"-- {args.benchmark} {args.mode}: "
-            f"real {timing.real_seconds:.6f}s, "
-            f"user {timing.user_seconds:.6f}s, "
-            f"{timing.bytes_read} bytes read",
-            file=sys.stderr,
+        log.info(
+            "-- %s %s: real %.6fs, user %.6fs, %d bytes read",
+            args.benchmark, args.mode, timing.real_seconds,
+            timing.user_seconds, timing.bytes_read,
         )
     return 0
 
@@ -181,10 +220,9 @@ def _command_bench(args):
             print(name)
         return 0
     if args.experiment not in _EXPERIMENTS:
-        print(
-            f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(_EXPERIMENTS)}",
-            file=sys.stderr,
+        log.error(
+            "unknown experiment %r; choose from %s",
+            args.experiment, ", ".join(_EXPERIMENTS),
         )
         return 2
     function_name, needs_dataset = _EXPERIMENTS[args.experiment]
@@ -197,6 +235,45 @@ def _command_bench(args):
     for item in result if isinstance(result, list) else [result]:
         print(item.render())
         print()
+    return 0
+
+
+def _command_profile(args):
+    from repro.core import RDFStore
+
+    if args.data:
+        with open(args.data) as handle:
+            text = handle.read()
+        log.debug("loading %s", args.data)
+        store = RDFStore.from_ntriples(
+            text,
+            engine=args.engine,
+            scheme=args.scheme,
+            clustering=args.clustering,
+        )
+    else:
+        from repro.data import generate_barton
+
+        log.debug(
+            "generating %d triples (seed %d)", args.triples, args.seed
+        )
+        dataset = generate_barton(
+            n_triples=args.triples,
+            n_properties=args.properties,
+            n_interesting=min(28, args.properties),
+            seed=args.seed,
+        )
+        store = RDFStore.from_triples(
+            dataset.triples,
+            engine=args.engine,
+            scheme=args.scheme,
+            clustering=args.clustering,
+        )
+    profile = store.profile(args.query, mode=args.mode)
+    if args.json:
+        print(profile.to_json())
+    else:
+        print(profile.render(with_metrics=args.metrics))
     return 0
 
 

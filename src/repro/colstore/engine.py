@@ -10,6 +10,7 @@ from repro.engine import (
     SimulatedDisk,
 )
 from repro.errors import StorageError
+from repro.observe import NULL_OBSERVATION
 from repro.plan.logical import count_operators
 
 
@@ -38,18 +39,30 @@ class ColumnStoreEngine:
 
     def __init__(self, machine=MACHINE_A, costs=COLUMN_STORE_COSTS,
                  page_size=DEFAULT_PAGE_SIZE, buffer_bytes=None,
-                 max_run_bytes=DEFAULT_MAX_RUN_BYTES):
+                 max_run_bytes=DEFAULT_MAX_RUN_BYTES, observe=None):
         self.machine = machine
         self.costs = costs
+        self.observe = observe if observe is not None else NULL_OBSERVATION
         self.disk = SimulatedDisk(page_size=page_size)
         self.clock = QueryClock(machine)
         if buffer_bytes is None:
             buffer_bytes = int(machine.ram_bytes * 0.8)
         self.pool = BufferPool(
-            self.disk, self.clock, buffer_bytes, max_run_bytes=max_run_bytes
+            self.disk, self.clock, buffer_bytes, max_run_bytes=max_run_bytes,
+            observe=self.observe,
         )
         self._tables = {}
         self._executor = ColumnExecutor(self)
+
+    def install_observation(self, observe):
+        """Install (or, with ``None``, remove) an Observation bundle.
+
+        Instrumentation routes through this bundle everywhere, so swapping
+        it turns metrics + tracing on or off without rebuilding the engine.
+        """
+        self.observe = observe if observe is not None else NULL_OBSERVATION
+        self.pool.observe = self.observe
+        return self.observe
 
     # ------------------------------------------------------------------
     # DDL / catalog
@@ -112,10 +125,13 @@ class ColumnStoreEngine:
         self.clock.charge_cpu(
             self.costs.query_overhead
             + self.costs.plan_operator * n_operators
-            + self.costs.plan_quadratic * n_operators * n_operators
+            + self.costs.plan_quadratic * n_operators * n_operators,
+            category="plan",
         )
         relation = self._executor.execute(plan)
-        self.clock.charge_cpu(self.costs.output_tuple * relation.n_rows)
+        self.clock.charge_cpu(
+            self.costs.output_tuple * relation.n_rows, category="output"
+        )
         return relation, self.clock.timing()
 
     def execute(self, plan):

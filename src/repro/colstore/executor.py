@@ -62,17 +62,47 @@ class ColumnExecutor:
     # ------------------------------------------------------------------
 
     def _execute(self, node, needed):
+        """Dispatch *node*, attributing its work to a trace span when an
+        Observation is installed (children subtract themselves)."""
+        observe = self.engine.observe
+        if not observe.enabled:
+            return self._dispatch(node, needed)
+        tracer = observe.tracer
+        tracer.enter(node)
+        try:
+            result = self._dispatch(node, needed)
+        finally:
+            tracer.exit(node)
+        tracer.set_rows(node, result.relation.n_rows)
+        return result
+
+    def _traced_scan_select(self, scan, predicates, needed):
+        """A fused selection's scan still gets its own span; its reported
+        rows are post-selection (the selection runs inside the scan)."""
+        observe = self.engine.observe
+        if not observe.enabled:
+            return self._scan_select(scan, predicates, needed)
+        tracer = observe.tracer
+        tracer.enter(scan)
+        try:
+            result = self._scan_select(scan, predicates, needed)
+        finally:
+            tracer.exit(scan)
+        tracer.set_rows(scan, result.relation.n_rows)
+        return result
+
+    def _dispatch(self, node, needed):
         if isinstance(node, L.Select) and isinstance(node.child, L.Scan):
             simple = [
                 p for p in node.predicates if not is_column_comparison(p)
             ]
             cross = [p for p in node.predicates if is_column_comparison(p)]
             if not cross:
-                return self._scan_select(node.child, simple, needed)
+                return self._traced_scan_select(node.child, simple, needed)
             inner_needed = set(needed) | {
                 c for p in cross for c in p.columns()
             }
-            result = self._scan_select(node.child, simple, inner_needed)
+            result = self._traced_scan_select(node.child, simple, inner_needed)
             return self._apply_cross(result, cross)
         if isinstance(node, L.Scan):
             return self._scan_select(node, [], needed)

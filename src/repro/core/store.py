@@ -216,6 +216,31 @@ class RDFStore:
             plan, _ = bgp_plan(self.catalog, sql_or_patterns)
         return render_plan(plan)
 
+    def profile(self, query, mode="cold", scope=None):
+        """EXPLAIN ANALYZE: run *query* with full observability and return
+        a :class:`~repro.observe.profiler.QueryProfile`.
+
+        *query* is a benchmark query name (``q1``..``q8``, ``q2*``..),
+        SPARQL text (anything containing ``{``), or SQL text.  *mode* is
+        ``"cold"`` (buffer pool cleared first, the default) or ``"hot"``
+        (one unobserved warm-up run first).
+        """
+        from repro.observe.profiler import profile_plan
+
+        plan = self._plan_for(query, scope=scope)
+        return profile_plan(self.engine, plan, mode=mode, query=query)
+
+    def _plan_for(self, query, scope=None):
+        if query in ALL_QUERY_NAMES:
+            return build_query(self.catalog, query, scope=scope)
+        if "{" in query:
+            from repro.sparql import parse_sparql
+            from repro.sparql.executor import sparql_plan
+
+            plan, _names = sparql_plan(self.catalog, parse_sparql(query))
+            return plan
+        return plan_sql(query, self.catalog)
+
     def statistics(self):
         """Table-1-style statistics of the loaded data
         (:class:`~repro.data.stats.DatasetStatistics`)."""

@@ -15,6 +15,7 @@ with large requests run at the disk's sustained bandwidth.
 from collections import OrderedDict
 
 from repro.errors import BufferPoolError
+from repro.observe.trace import NULL_OBSERVATION
 
 #: Effective-bandwidth divisor for scattered (index-order) page reads: the
 #: same bytes stream at roughly a quarter of the sequential rate — the
@@ -29,13 +30,22 @@ class BufferPool:
     """Page cache over a :class:`~repro.engine.disk.SimulatedDisk`."""
 
     def __init__(self, disk, clock, capacity_bytes, max_run_bytes=None,
-                 sequential_coalescing=True):
+                 sequential_coalescing=True, observe=None):
         if capacity_bytes < disk.page_size:
             raise BufferPoolError("buffer pool smaller than one page")
         self.disk = disk
         self.clock = clock
+        #: Observation bundle (metrics registry + tracer); the default is
+        #: inert, so accounting beyond the plain counters below is skipped.
+        self.observe = observe if observe is not None else NULL_OBSERVATION
         self.page_size = disk.page_size
         self.capacity_pages = capacity_bytes // disk.page_size
+        # Always-on accounting: plain ints, negligible next to the page walk.
+        self.hit_count = 0
+        self.miss_count = 0
+        self.eviction_count = 0
+        self.request_count = 0
+        self.bytes_transferred = 0
         #: Largest number of bytes the engine fetches per disk request.
         #: ``None`` means unbounded (one request per contiguous miss run).
         self.max_run_bytes = max_run_bytes
@@ -57,6 +67,23 @@ class BufferPool:
         """Drop every cached page: the benchmark's *cold* starting state."""
         self._pages.clear()
         self._last_disk_page = None
+
+    def stats(self):
+        """The always-on accounting counters as a dict."""
+        return {
+            "page_hits": self.hit_count,
+            "page_misses": self.miss_count,
+            "evictions": self.eviction_count,
+            "disk_requests": self.request_count,
+            "bytes_transferred": self.bytes_transferred,
+        }
+
+    def reset_stats(self):
+        self.hit_count = 0
+        self.miss_count = 0
+        self.eviction_count = 0
+        self.request_count = 0
+        self.bytes_transferred = 0
 
     def resident_pages(self):
         return len(self._pages)
@@ -88,9 +115,15 @@ class BufferPool:
             transferred += run_bytes
             n_requests += self._requests_for_run(run_bytes, run_start)
             self._last_disk_page = run_end - 1
+        seek = transfer = 0.0
         if transferred:
-            self.clock.charge_io(transferred, n_requests)
+            seek, transfer = self.clock.charge_io(transferred, n_requests)
         self._install(start, end)
+        misses = transferred // self.page_size
+        self._account(
+            segment, (end - start) - misses, misses, n_requests,
+            transferred, seek, transfer, scattered=False,
+        )
         return transferred
 
     def read_segment(self, name_or_segment):
@@ -114,11 +147,13 @@ class BufferPool:
             )
         transferred = 0
         n_requests = 0
+        hits = 0
         run = []
         for p in unique:
             page = base_page + p
             if page in self._pages:
                 self._pages.move_to_end(page)
+                hits += 1
                 continue
             if run and page != run[-1] + 1:
                 transferred, n_requests = self._flush_run(
@@ -128,16 +163,60 @@ class BufferPool:
             run.append(page)
         if run:
             transferred, n_requests = self._flush_run(run, transferred, n_requests)
+        seek = transfer = 0.0
         if transferred:
             penalty = SCATTERED_BANDWIDTH_PENALTY if scattered else 1.0
-            self.clock.charge_io(
+            seek, transfer = self.clock.charge_io(
                 transferred, n_requests, bandwidth_penalty=penalty
             )
+        self._account(
+            segment, hits, transferred // self.page_size, n_requests,
+            transferred, seek, transfer, scattered=scattered,
+        )
         return transferred
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _account(self, segment, hits, misses, n_requests, transferred,
+                 seek_seconds, transfer_seconds, scattered):
+        """Update the always-on counters, the disk's per-segment read log,
+        the metrics registry, and the active trace span."""
+        self.hit_count += hits
+        self.miss_count += misses
+        self.request_count += n_requests
+        self.bytes_transferred += transferred
+        if transferred:
+            self.disk.record_read(
+                segment.name, transferred, n_requests,
+                seek_seconds, transfer_seconds, scattered=scattered,
+            )
+        observe = self.observe
+        if not observe.enabled:
+            return
+        metrics = observe.metrics
+        if hits:
+            metrics.counter("buffer.page_hits", segment=segment.name).inc(hits)
+        if misses:
+            metrics.counter(
+                "buffer.page_misses", segment=segment.name
+            ).inc(misses)
+        if n_requests:
+            kind = "scattered" if scattered else "sequential"
+            metrics.counter(
+                "disk.requests", segment=segment.name, kind=kind
+            ).inc(n_requests)
+        if transferred:
+            metrics.counter(
+                "disk.bytes_read", segment=segment.name
+            ).inc(transferred)
+            metrics.histogram("disk.request_bytes").observe(
+                transferred / max(n_requests, 1)
+            )
+        observe.tracer.current_add(
+            page_hits=hits, page_misses=misses, disk_requests=n_requests,
+        )
 
     def _resolve(self, name_or_segment):
         if isinstance(name_or_segment, str):
@@ -193,4 +272,7 @@ class BufferPool:
             return
         while len(self._pages) >= self.capacity_pages:
             self._pages.popitem(last=False)
+            self.eviction_count += 1
+            if self.observe.enabled:
+                self.observe.metrics.counter("buffer.evictions").inc()
         self._pages[page] = True

@@ -16,6 +16,16 @@ criticizes in C-Store (Figure 5) — and simulated user time is the CPU part.
 The clock also keeps the cumulative bytes-read history that reproduces
 Figure 5 ("I/O Read history"): one ``(real_time_so_far, cumulative_bytes)``
 sample per disk request.
+
+For observability every charge is attributed twice more:
+
+* by **category** — callers tag CPU charges (``"plan"``, ``"execute"``,
+  ``"output"``); I/O charges split into ``"io.seek"`` (per-request latency)
+  and ``"io.transfer"`` (bandwidth time), the decomposition behind the
+  paper's latency-bound-C-Store diagnosis;
+* by **span** — :meth:`profile_snapshot` exposes the accumulators so a
+  :class:`~repro.observe.trace.Tracer` can compute exact per-operator
+  deltas.
 """
 
 from dataclasses import dataclass
@@ -29,6 +39,8 @@ class QueryTiming:
     user_seconds: float
     bytes_read: int
     io_requests: int
+    seek_seconds: float = 0.0
+    transfer_seconds: float = 0.0
 
     def __add__(self, other):
         if not isinstance(other, QueryTiming):
@@ -38,6 +50,8 @@ class QueryTiming:
             self.user_seconds + other.user_seconds,
             self.bytes_read + other.bytes_read,
             self.io_requests + other.io_requests,
+            self.seek_seconds + other.seek_seconds,
+            self.transfer_seconds + other.transfer_seconds,
         )
 
 
@@ -52,40 +66,57 @@ class QueryClock:
         """Start timing a new query."""
         self._cpu_seconds = 0.0
         self._io_seconds = 0.0
+        self._seek_seconds = 0.0
+        self._transfer_seconds = 0.0
         self._bytes_read = 0
         self._io_requests = 0
+        self._categories = {}
         self._trace = [(0.0, 0)]
 
     # ------------------------------------------------------------------
     # charging
     # ------------------------------------------------------------------
 
-    def charge_cpu(self, seconds):
+    def charge_cpu(self, seconds, category="execute"):
         """Charge *seconds* of CPU work (already cost-model-weighted)."""
         if seconds < 0:
             raise ValueError("cannot charge negative CPU time")
-        self._cpu_seconds += seconds * self.machine.cpu_scale
+        scaled = seconds * self.machine.cpu_scale
+        self._cpu_seconds += scaled
+        self._categories[category] = self._categories.get(category, 0.0) + scaled
 
     def charge_io(self, nbytes, n_requests, bandwidth_penalty=1.0):
         """Charge a disk transfer: per-request latency plus bandwidth time.
 
         *bandwidth_penalty* > 1 models scattered (non-sequential) access:
         the same bytes transfer at a fraction of the sustained rate.
+
+        Returns ``(seek_seconds, transfer_seconds)`` of this charge so the
+        caller can attribute them without re-deriving the cost model.
         """
         if nbytes < 0 or n_requests < 0:
             raise ValueError("cannot charge negative I/O")
         if bandwidth_penalty < 1.0:
             raise ValueError("bandwidth_penalty must be >= 1")
         if nbytes == 0 and n_requests == 0:
-            return
-        seconds = (
-            n_requests * self.machine.request_latency
-            + nbytes * bandwidth_penalty / self.machine.read_bandwidth
-        )
-        self._io_seconds += seconds
+            return 0.0, 0.0
+        seek = n_requests * self.machine.request_latency
+        transfer = nbytes * bandwidth_penalty / self.machine.read_bandwidth
+        self._io_seconds += seek + transfer
+        self._seek_seconds += seek
+        self._transfer_seconds += transfer
+        if seek:
+            self._categories["io.seek"] = (
+                self._categories.get("io.seek", 0.0) + seek
+            )
+        if transfer:
+            self._categories["io.transfer"] = (
+                self._categories.get("io.transfer", 0.0) + transfer
+            )
         self._bytes_read += nbytes
         self._io_requests += n_requests
         self._trace.append((self.real_seconds(), self._bytes_read))
+        return seek, transfer
 
     # ------------------------------------------------------------------
     # reading
@@ -100,6 +131,28 @@ class QueryClock:
     def bytes_read(self):
         return self._bytes_read
 
+    def seek_seconds(self):
+        return self._seek_seconds
+
+    def transfer_seconds(self):
+        return self._transfer_seconds
+
+    def category_seconds(self):
+        """Charged seconds by attribution category (a fresh dict)."""
+        return dict(self._categories)
+
+    def profile_snapshot(self):
+        """Accumulator vector for exact span attribution:
+        ``(cpu, io, bytes, requests, seek, transfer)``."""
+        return (
+            self._cpu_seconds,
+            self._io_seconds,
+            self._bytes_read,
+            self._io_requests,
+            self._seek_seconds,
+            self._transfer_seconds,
+        )
+
     def timing(self):
         """Snapshot the accumulated charges as a :class:`QueryTiming`."""
         return QueryTiming(
@@ -107,6 +160,8 @@ class QueryClock:
             user_seconds=self.user_seconds(),
             bytes_read=self._bytes_read,
             io_requests=self._io_requests,
+            seek_seconds=self._seek_seconds,
+            transfer_seconds=self._transfer_seconds,
         )
 
     def io_history(self):

@@ -51,6 +51,52 @@ class Segment:
         return end - start
 
 
+class SegmentReadStats:
+    """Per-segment accounting of transfers the buffer pool requested."""
+
+    __slots__ = (
+        "reads", "nbytes", "requests", "scattered_reads",
+        "seek_seconds", "transfer_seconds", "min_run_bytes", "max_run_bytes",
+    )
+
+    def __init__(self):
+        self.reads = 0
+        self.nbytes = 0
+        self.requests = 0
+        self.scattered_reads = 0
+        self.seek_seconds = 0.0
+        self.transfer_seconds = 0.0
+        self.min_run_bytes = None
+        self.max_run_bytes = 0
+
+    def record(self, nbytes, n_requests, seek_seconds, transfer_seconds,
+               scattered):
+        self.reads += 1
+        self.nbytes += nbytes
+        self.requests += n_requests
+        self.seek_seconds += seek_seconds
+        self.transfer_seconds += transfer_seconds
+        if scattered:
+            self.scattered_reads += 1
+        run = nbytes // max(n_requests, 1)
+        if self.min_run_bytes is None or run < self.min_run_bytes:
+            self.min_run_bytes = run
+        if run > self.max_run_bytes:
+            self.max_run_bytes = run
+
+    def to_dict(self):
+        return {
+            "reads": self.reads,
+            "bytes": self.nbytes,
+            "requests": self.requests,
+            "scattered_reads": self.scattered_reads,
+            "seek_seconds": self.seek_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "min_run_bytes": self.min_run_bytes,
+            "max_run_bytes": self.max_run_bytes,
+        }
+
+
 class SimulatedDisk:
     """Catalog of segments with back-to-back page layout."""
 
@@ -60,6 +106,7 @@ class SimulatedDisk:
         self.page_size = page_size
         self._segments = {}
         self._next_base = 0
+        self._read_stats = {}
 
     def __contains__(self, name):
         return name in self._segments
@@ -106,3 +153,23 @@ class SimulatedDisk:
     def total_bytes(self):
         """Total on-disk footprint (the paper's "database size on disk")."""
         return sum(s.nbytes for s in self._segments.values())
+
+    # ------------------------------------------------------------------
+    # read accounting (maintained by the buffer pool)
+    # ------------------------------------------------------------------
+
+    def record_read(self, segment_name, nbytes, n_requests, seek_seconds,
+                    transfer_seconds, scattered=False):
+        """Account one miss transfer against *segment_name*."""
+        stats = self._read_stats.get(segment_name)
+        if stats is None:
+            stats = self._read_stats[segment_name] = SegmentReadStats()
+        stats.record(nbytes, n_requests, seek_seconds, transfer_seconds,
+                     scattered)
+
+    def read_stats(self):
+        """Per-segment transfer accounting since the last reset."""
+        return dict(self._read_stats)
+
+    def reset_read_stats(self):
+        self._read_stats = {}

@@ -1,0 +1,69 @@
+"""repro.observe — execution tracing, metrics, logging, and the
+EXPLAIN ANALYZE profiler.
+
+Three layers, all zero-dependency and inert by default:
+
+* :mod:`repro.observe.metrics` — a labeled counter/gauge/histogram
+  registry with dict/JSON/text export,
+* :mod:`repro.observe.trace` — a span tracer with exact simulated-clock
+  attribution plus wall-clock durations, bundled with the registry into an
+  :class:`~repro.observe.trace.Observation` that engines carry,
+* :mod:`repro.observe.profiler` — EXPLAIN ANALYZE: run a plan with a live
+  Observation installed and render per-operator actual rows, estimated
+  rows, I/O breakdown and buffer behaviour (``repro profile`` on the CLI).
+
+:mod:`repro.observe.log` holds the package's logging setup.
+"""
+
+from repro.observe.log import configure_logging, get_logger
+from repro.observe.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    format_key,
+)
+from repro.observe.trace import (
+    NULL_OBSERVATION,
+    NULL_TRACER,
+    NullTracer,
+    Observation,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "format_key",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Observation",
+    "NULL_OBSERVATION",
+    # provided lazily from repro.observe.profiler:
+    "QueryProfile",
+    "profile_plan",
+    "validate_profile",
+    "PROFILE_SCHEMA_VERSION",
+]
+
+_PROFILER_NAMES = {
+    "QueryProfile",
+    "profile_plan",
+    "validate_profile",
+    "PROFILE_SCHEMA_VERSION",
+}
+
+
+def __getattr__(name):
+    # The profiler pulls in the planner/optimizer stack; load it only when
+    # asked so `import repro.engine` stays light.
+    if name in _PROFILER_NAMES:
+        from repro.observe import profiler
+
+        return getattr(profiler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

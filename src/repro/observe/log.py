@@ -1,0 +1,51 @@
+"""Module-level logging for the repro package.
+
+Every module gets its logger via :func:`get_logger` (children of the
+``repro`` root logger).  The CLI calls :func:`configure_logging` once,
+mapping ``-v`` to DEBUG; library users can call it too or configure the
+``repro`` logger with standard :mod:`logging` machinery instead.
+
+The handler resolves ``sys.stderr`` at emit time rather than capturing it
+at configure time, so output follows stream redirection (including pytest's
+``capsys``).
+"""
+
+import logging
+import sys
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+class _StderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is at emit time."""
+
+    def emit(self, record):
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - defensive, as stdlib does
+            self.handleError(record)
+
+
+def get_logger(name=None):
+    """The ``repro`` logger, or the ``repro.<name>`` child."""
+    if not name:
+        return logging.getLogger("repro")
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(verbosity=0):
+    """Install the stderr handler on the ``repro`` root logger.
+
+    *verbosity* 0 shows INFO and above; 1+ shows DEBUG.  Idempotent: calling
+    again only adjusts the level.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(logging.DEBUG if verbosity else logging.INFO)
+    if not any(isinstance(h, _StderrHandler) for h in logger.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,228 @@
+"""Zero-dependency in-process metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` hands out named instruments, optionally labeled
+(``registry.counter("disk.requests", segment="triples.prop")``).  Each
+``(name, labels)`` pair maps to exactly one instrument, so incrementing the
+same labeled counter from two call sites accumulates into one time series.
+
+The registry is intentionally tiny — no background threads, no export
+protocol — because the simulated engines are single-threaded and
+deterministic.  Export is a plain dict (:meth:`MetricsRegistry.to_dict`),
+JSON (:meth:`MetricsRegistry.to_json`) or aligned text
+(:meth:`MetricsRegistry.render_text`).
+
+When observability is off the engines hold a :class:`NullMetricsRegistry`
+whose instruments are shared no-op singletons, so the disabled path costs
+one attribute lookup and one no-op call.
+"""
+
+import json
+
+
+def format_key(name, labels):
+    """Canonical ``name{k=v,...}`` key for a labeled instrument."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (e.g. resident pages)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, n=1):
+        self.value += n
+
+    def dec(self, n=1):
+        self.value -= n
+
+
+class Histogram:
+    """Summary statistics plus power-of-4 bucket counts.
+
+    Buckets are cumulative-free: ``buckets[i]`` counts observations with
+    ``4**i <= value < 4**(i+1)`` (index 0 also catches values below 1).
+    Good enough to see the shape of request sizes without configuration.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    N_BUCKETS = 16
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = [0] * self.N_BUCKETS
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = 0
+        bound = 4
+        while value >= bound and index < self.N_BUCKETS - 1:
+            bound *= 4
+            index += 1
+        self.buckets[index] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                f"<{4 ** (i + 1)}": n
+                for i, n in enumerate(self.buckets)
+                if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges and histograms, labeled by string."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+
+    def counter(self, name, **labels):
+        key = format_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name, **labels):
+        key = format_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name, **labels):
+        key = format_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self):
+        lines = []
+        for key, counter in sorted(self._counters.items()):
+            lines.append(f"counter   {key} = {counter.value}")
+        for key, gauge in sorted(self._gauges.items()):
+            lines.append(f"gauge     {key} = {gauge.value}")
+        for key, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"histogram {key} count={histogram.count} "
+                f"mean={histogram.mean:.1f} min={histogram.min} "
+                f"max={histogram.max}"
+            )
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+
+    def inc(self, n=1):
+        pass
+
+    def dec(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def to_dict(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self):
+        return ""
+
+
+NULL_REGISTRY = NullMetricsRegistry()

@@ -56,6 +56,26 @@ def optimize_joins(plan, stats_provider):
     return _rewrite(plan, estimator)
 
 
+def annotate_cardinalities(plan, stats_provider):
+    """Estimated output cardinality for every node of *plan*.
+
+    Returns ``{id(node): estimated_rows}`` — the estimates the greedy
+    optimizer would work from.  The EXPLAIN ANALYZE profiler joins this
+    against actual per-operator row counts, which is what makes the
+    estimator testable against reality (``misestimate_ratio`` per node).
+    """
+    estimator = Estimator(stats_provider)
+    estimates = {}
+
+    def walk(node):
+        estimates[id(node)] = float(estimator.cardinality(node))
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return estimates
+
+
 def _rewrite(node, estimator):
     if isinstance(node, L.Join):
         relations, conditions = _flatten(node)

@@ -3,33 +3,42 @@
 from repro.plan import logical as L
 
 
-def render_plan(plan, max_union_branches=4):
+def render_plan(plan, max_union_branches=4, annotate=None):
     """Render a plan tree as indented text.
 
     Unions over hundreds of property tables (the vertically-partitioned
     full-scale queries) are elided after *max_union_branches* branches so
     the output stays readable; the elision line reports how many branches
     were hidden — which is itself the paper's point about those plans.
+
+    *annotate*, when given, maps a node to extra text appended to its line
+    (the EXPLAIN ANALYZE profiler attaches actual rows and I/O this way).
     """
     lines = []
-    _render(plan, 0, lines, max_union_branches)
+    _render(plan, 0, lines, max_union_branches, annotate)
     return "\n".join(lines)
 
 
-def _render(node, depth, lines, max_union_branches):
+def describe_node(node):
+    """One-line description of a plan node (public alias)."""
+    return _describe(node)
+
+
+def _render(node, depth, lines, max_union_branches, annotate=None):
     indent = "  " * depth
-    lines.append(f"{indent}{_describe(node)}")
+    suffix = annotate(node) if annotate else ""
+    lines.append(f"{indent}{_describe(node)}{suffix}")
     children = node.children()
     if isinstance(node, L.Union) and len(children) > max_union_branches:
         shown = children[:max_union_branches]
         for child in shown:
-            _render(child, depth + 1, lines, max_union_branches)
+            _render(child, depth + 1, lines, max_union_branches, annotate)
         lines.append(
             f"{indent}  ... {len(children) - len(shown)} more union branches"
         )
         return
     for child in children:
-        _render(child, depth + 1, lines, max_union_branches)
+        _render(child, depth + 1, lines, max_union_branches, annotate)
 
 
 def _describe(node):

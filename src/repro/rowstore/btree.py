@@ -51,6 +51,9 @@ class BPlusTree:
             raise StorageError("B+tree order must be at least 3")
         self.order = order
         self.on_access = on_access
+        #: Lifetime count of node visits (descent steps and leaf hops) by
+        #: queries — the row store's per-probe work, surfaced in profiles.
+        self.node_visits = 0
         self._nodes = []
         root = self._new_leaf()
         self._root_page = root.page
@@ -200,6 +203,7 @@ class BPlusTree:
         return node, index
 
     def _touch(self, node):
+        self.node_visits += 1
         if self.on_access is not None:
             self.on_access(node.page)
 

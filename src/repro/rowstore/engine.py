@@ -8,6 +8,7 @@ from repro.engine import (
     SimulatedDisk,
 )
 from repro.errors import StorageError
+from repro.observe import NULL_OBSERVATION
 from repro.plan.logical import count_operators
 from repro.rowstore.executor import RowExecutor
 from repro.rowstore.table import RowTable
@@ -38,19 +39,28 @@ class RowStoreEngine:
 
     def __init__(self, machine=MACHINE_A, costs=ROW_STORE_COSTS,
                  page_size=DEFAULT_PAGE_SIZE, buffer_bytes=None,
-                 max_run_bytes=DEFAULT_MAX_RUN_BYTES, btree_order=64):
+                 max_run_bytes=DEFAULT_MAX_RUN_BYTES, btree_order=64,
+                 observe=None):
         self.machine = machine
         self.costs = costs
+        self.observe = observe if observe is not None else NULL_OBSERVATION
         self.disk = SimulatedDisk(page_size=page_size)
         self.clock = QueryClock(machine)
         if buffer_bytes is None:
             buffer_bytes = int(machine.ram_bytes * 0.8)
         self.pool = BufferPool(
-            self.disk, self.clock, buffer_bytes, max_run_bytes=max_run_bytes
+            self.disk, self.clock, buffer_bytes, max_run_bytes=max_run_bytes,
+            observe=self.observe,
         )
         self.btree_order = btree_order
         self._tables = {}
         self._executor = RowExecutor(self)
+
+    def install_observation(self, observe):
+        """Install (or, with ``None``, remove) an Observation bundle."""
+        self.observe = observe if observe is not None else NULL_OBSERVATION
+        self.pool.observe = self.observe
+        return self.observe
 
     # ------------------------------------------------------------------
     # DDL / catalog
@@ -81,10 +91,16 @@ class RowStoreEngine:
         """Charge I/O + CPU for every B+tree node the executor touches."""
         pool, clock, segment = self.pool, self.clock, index.segment
         node_cost = self.costs.btree_node
+        engine, index_name = self, index.name
 
         def on_access(page):
             pool.read_pages(segment, [page])
             clock.charge_cpu(node_cost)
+            observe = engine.observe
+            if observe.enabled:
+                observe.metrics.counter(
+                    "btree.node_visits", index=index_name
+                ).inc()
 
         index.tree.on_access = on_access
 
@@ -122,10 +138,13 @@ class RowStoreEngine:
         self.clock.charge_cpu(
             self.costs.query_overhead
             + self.costs.plan_operator * n_operators
-            + self.costs.plan_quadratic * n_operators * n_operators
+            + self.costs.plan_quadratic * n_operators * n_operators,
+            category="plan",
         )
         relation = self._executor.execute(plan)
-        self.clock.charge_cpu(self.costs.output_tuple * relation.n_rows)
+        self.clock.charge_cpu(
+            self.costs.output_tuple * relation.n_rows, category="output"
+        )
         return relation, self.clock.timing()
 
     def execute(self, plan):

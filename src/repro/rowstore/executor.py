@@ -69,6 +69,46 @@ class RowExecutor:
     # ------------------------------------------------------------------
 
     def _build(self, node):
+        """Build *node*'s stream; when an Observation is installed, wrap it
+        so every tuple pull is attributed to the node's trace span.
+
+        The executor is lazy — an operator's work happens inside its
+        generator while a parent pulls — so attribution brackets each
+        ``next()`` call; pulls from child streams (themselves wrapped)
+        subtract automatically.  A Select fused with its Scan reports the
+        combined access path under the Select node.
+        """
+        stream = self._dispatch(node)
+        observe = self.engine.observe
+        if observe.enabled:
+            return self._traced_stream(node, stream, observe.tracer)
+        return stream
+
+    def _traced_stream(self, node, stream, tracer):
+        def generate():
+            iterator = iter(stream)
+            span = None
+            rows = 0
+            while True:
+                tracer.enter(node)
+                try:
+                    try:
+                        row = next(iterator)
+                    except StopIteration:
+                        break
+                finally:
+                    tracer.exit(node)
+                rows += 1
+                if span is None:
+                    span = tracer.span_for(node)
+                if span is not None:
+                    span.rows = rows
+                yield row
+            tracer.set_rows(node, rows)
+
+        return Stream(stream.columns, generate())
+
+    def _dispatch(self, node):
         if isinstance(node, L.Select) and isinstance(node.child, L.Scan):
             return self._access_path(node.child, node.predicates)
         if isinstance(node, L.Scan):

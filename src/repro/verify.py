@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.colstore import ColumnStoreEngine
 from repro.cstore import CSTORE_QUERIES, CStoreEngine
+from repro.observe.log import get_logger
 from repro.queries import ALL_QUERY_NAMES, build_query, reference_answer
 from repro.rowstore import RowStoreEngine
 from repro.storage import (
@@ -22,6 +23,8 @@ from repro.storage import (
     build_triple_store,
     build_vertical_store,
 )
+
+log = get_logger("verify")
 
 
 @dataclass
@@ -90,9 +93,11 @@ def verify_dataset(dataset, queries=ALL_QUERY_NAMES, include_cstore=True):
     )
 
     for label, engine_cls, builder in _CONFIGURATIONS:
+        log.debug("building %s", label)
         engine = engine_cls()
         catalog = builder(engine, dataset)
         for query in queries:
+            log.debug("checking %s %s", label, query)
             plan = build_query(catalog, query)
             relation = engine.execute(plan)
             got = sorted(
@@ -102,6 +107,7 @@ def verify_dataset(dataset, queries=ALL_QUERY_NAMES, include_cstore=True):
             )
             result.checks += 1
             if got != expected[query]:
+                log.debug("MISMATCH %s %s", label, query)
                 result.mismatches.append(
                     (label, query,
                      f"{len(got)} rows vs reference {len(expected[query])}")

@@ -29,7 +29,8 @@ class TestGenerate:
         lines = out.read_text().strip().splitlines()
         assert len(lines) > 1800
         assert all(line.endswith(" .") for line in lines)
-        assert "wrote" in capsys.readouterr().out
+        # Progress chatter goes through the logger (stderr), not stdout.
+        assert "wrote" in capsys.readouterr().err
 
     def test_generate_to_stdout(self, capsys):
         main(["generate", "--triples", "2000", "--properties", "20"])

@@ -1,0 +1,252 @@
+"""Tests for the observability layer: metrics, tracing, logging."""
+
+import json
+import logging
+
+import pytest
+
+from repro.engine import MACHINE_A, QueryClock
+from repro.observe import (
+    NULL_OBSERVATION,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Observation,
+    Tracer,
+    configure_logging,
+    format_key,
+    get_logger,
+)
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("disk.requests").inc()
+        registry.counter("disk.requests").inc(4)
+        assert registry.to_dict()["counters"]["disk.requests"] == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_labels_identify_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", segment="a").inc()
+        registry.counter("hits", segment="b").inc(2)
+        counters = registry.to_dict()["counters"]
+        assert counters["hits{segment=a}"] == 1
+        assert counters["hits{segment=b}"] == 2
+
+    def test_label_order_is_canonical(self):
+        assert format_key("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"
+        registry = MetricsRegistry()
+        registry.counter("m", b=1, a=2).inc()
+        registry.counter("m", a=2, b=1).inc()
+        assert registry.to_dict()["counters"]["m{a=2,b=1}"] == 2
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("resident")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert registry.to_dict()["gauges"]["resident"] == 12
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("request_bytes")
+        for value in (1, 5, 100, 100):
+            histogram.observe(value)
+        summary = registry.to_dict()["histograms"]["request_bytes"]
+        assert summary["count"] == 4
+        assert summary["sum"] == 206
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert summary["mean"] == pytest.approx(51.5)
+        # 1 -> <4 bucket, 5 -> <16, 100 -> <256 (twice)
+        assert summary["buckets"] == {"<4": 1, "<16": 1, "<256": 2}
+
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(3)
+        decoded = json.loads(registry.to_json())
+        assert decoded["counters"] == {"c{k=v}": 3}
+
+    def test_render_text(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(2.0)
+        text = registry.render_text()
+        assert "counter   c = 3" in text
+        assert "gauge     g = 7" in text
+        assert "histogram h count=1" in text
+
+    def test_null_registry_is_inert(self):
+        instrument = NULL_REGISTRY.counter("anything", label="x")
+        instrument.inc(10)
+        instrument.observe(3)
+        assert NULL_REGISTRY.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert NULL_REGISTRY.render_text() == ""
+        assert not NULL_REGISTRY.enabled
+
+
+class TestTracer:
+    def _clock(self):
+        return QueryClock(MACHINE_A)
+
+    def test_nested_spans_attribute_self_time(self):
+        clock = self._clock()
+        tracer = Tracer(clock=clock)
+        with tracer.run():
+            with tracer.span("outer"):
+                clock.charge_cpu(0.010)
+                with tracer.span("inner"):
+                    clock.charge_cpu(0.002)
+                clock.charge_cpu(0.001)
+        outer = tracer.root.child_named("outer")
+        inner = outer.child_named("inner")
+        assert inner.self_seconds() == pytest.approx(0.002)
+        assert outer.self_seconds() == pytest.approx(0.011)
+        assert outer.inclusive()[0] == pytest.approx(0.013)
+
+    def test_span_sum_equals_clock_total(self):
+        clock = self._clock()
+        tracer = Tracer(clock=clock)
+        with tracer.run():
+            clock.charge_cpu(0.005)  # root self-time
+            with tracer.span("a"):
+                clock.charge_cpu(0.001)
+                clock.charge_io(8192, 1)
+            with tracer.span("b"):
+                clock.charge_cpu(0.002)
+        total = sum(s.self_seconds() for s in tracer.root.walk())
+        assert total == pytest.approx(clock.real_seconds())
+
+    def test_reentry_accumulates(self):
+        clock = self._clock()
+        tracer = Tracer(clock=clock)
+        key = object()
+        with tracer.run():
+            for _ in range(3):
+                tracer.enter(key)
+                clock.charge_cpu(0.001)
+                tracer.exit(key)
+        span = tracer.span_for(key)
+        assert span.calls == 3
+        assert span.self_seconds() == pytest.approx(0.003)
+
+    def test_register_plan_mirrors_tree(self):
+        from repro.plan import logical as L
+        from repro.plan.predicates import Comparison
+
+        scan = L.Scan("t", ["subj", "obj"], alias="A")
+        select = L.Select(scan, [Comparison("A.obj", "=", 1)])
+        tracer = Tracer()
+        tracer.register_plan(select, describe=lambda n: type(n).__name__)
+        assert tracer.span_for(select).name == "select"
+        assert tracer.span_for(scan).parent is tracer.span_for(select)
+        assert tracer.span_for(select).parent is tracer.root
+
+    def test_io_vector_attribution(self):
+        clock = self._clock()
+        tracer = Tracer(clock=clock)
+        with tracer.run():
+            with tracer.span("scan"):
+                clock.charge_io(16384, 2)
+        span = tracer.root.child_named("scan")
+        from repro.observe.trace import BYTES, REQUESTS, SEEK, TRANSFER
+
+        assert span.self_sim[BYTES] == 16384
+        assert span.self_sim[REQUESTS] == 2
+        assert span.self_sim[SEEK] == pytest.approx(
+            2 * MACHINE_A.request_latency
+        )
+        assert span.self_sim[TRANSFER] == pytest.approx(
+            16384 / MACHINE_A.read_bandwidth
+        )
+
+    def test_current_add(self):
+        tracer = Tracer()
+        with tracer.run():
+            with tracer.span("scan"):
+                tracer.current_add(page_hits=3)
+                tracer.current_add(page_hits=2, page_misses=1)
+        span = tracer.root.child_named("scan")
+        assert span.counts == {"page_hits": 5, "page_misses": 1}
+
+    def test_misestimate_ratio(self):
+        from repro.observe.trace import Span
+
+        span = Span("x")
+        assert span.misestimate_ratio() is None
+        span.estimated_rows = 10.0
+        span.rows = 100
+        assert span.misestimate_ratio() == pytest.approx(10.0)
+        span.rows = 0
+        assert span.misestimate_ratio() == pytest.approx(10.0)
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.run():
+            with NULL_TRACER.span("x"):
+                NULL_TRACER.current_add(hits=1)
+        NULL_TRACER.enter(object())
+        NULL_TRACER.exit()
+        assert NULL_TRACER.span_for(object()) is None
+        assert not NULL_TRACER.enabled
+
+
+class TestObservation:
+    def test_null_observation_disabled(self):
+        assert not NULL_OBSERVATION.enabled
+        assert NULL_OBSERVATION.metrics is NULL_REGISTRY
+        assert NULL_OBSERVATION.tracer is NULL_TRACER
+
+    def test_partial_observation_enabled(self):
+        assert Observation(metrics=MetricsRegistry()).enabled
+        assert Observation(tracer=Tracer()).enabled
+        assert not Observation().enabled
+
+    def test_engines_accept_observation(self):
+        from repro.colstore import ColumnStoreEngine
+        from repro.rowstore import RowStoreEngine
+
+        for engine_cls in (ColumnStoreEngine, RowStoreEngine):
+            engine = engine_cls()
+            assert engine.observe is NULL_OBSERVATION
+            observation = Observation(metrics=MetricsRegistry())
+            engine.install_observation(observation)
+            assert engine.observe is observation
+            assert engine.pool.observe is observation
+            engine.install_observation(None)
+            assert engine.observe is NULL_OBSERVATION
+
+
+class TestLogging:
+    def test_logger_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("cli").name == "repro.cli"
+
+    def test_configure_is_idempotent(self):
+        configure_logging(0)
+        configure_logging(0)
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert root.level == logging.INFO
+
+    def test_verbose_enables_debug(self, capsys):
+        configure_logging(1)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        get_logger("test").debug("a debug line")
+        assert "a debug line" in capsys.readouterr().err
+        configure_logging(0)
+
+    def test_info_goes_to_stderr(self, capsys):
+        configure_logging(0)
+        get_logger("test").info("hello %d", 7)
+        captured = capsys.readouterr()
+        assert "INFO repro.test: hello 7" in captured.err
+        assert captured.out == ""
