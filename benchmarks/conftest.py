@@ -6,10 +6,15 @@ pytest-benchmark, prints the regenerated table (visible with ``-s``), and
 writes it to ``benchmarks/output/`` so the results can be diffed against
 EXPERIMENTS.md.
 
-Environment knobs:
+Environment knobs (see ``docs/benchmarking.md``):
 
 * ``REPRO_BENCH_TRIPLES`` — dataset size (default 60000),
-* ``REPRO_BENCH_SEED`` — generator seed (default 42).
+* ``REPRO_BENCH_SEED`` — generator seed (default 42),
+* ``REPRO_BENCH_JOBS`` — worker processes for experiment cells (default 1;
+  the scheduled drivers read it directly, and parallel output is
+  byte-identical to serial),
+* ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_DISABLE`` — artifact-cache location
+  and kill switch for datasets and built store payloads.
 """
 
 import json
@@ -18,6 +23,8 @@ import pathlib
 
 import pytest
 
+from repro.bench.artifacts import cache_disabled, cached_dataset
+from repro.bench.scheduler import default_jobs
 from repro.data import generate_barton
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -31,10 +38,21 @@ def bench_seed():
     return int(os.environ.get("REPRO_BENCH_SEED", "42"))
 
 
+def bench_jobs():
+    """Scheduler worker count (``REPRO_BENCH_JOBS``, default serial)."""
+    return default_jobs()
+
+
 @pytest.fixture(scope="session")
 def dataset():
-    """The Barton-like scale model shared by every bench."""
-    return generate_barton(n_triples=bench_triples(), seed=bench_seed())
+    """The Barton-like scale model shared by every bench.
+
+    Served from the on-disk artifact cache unless ``REPRO_CACHE_DISABLE``
+    is set — a cache hit is byte-identical to a fresh build.
+    """
+    if cache_disabled():
+        return generate_barton(n_triples=bench_triples(), seed=bench_seed())
+    return cached_dataset(n_triples=bench_triples(), seed=bench_seed())
 
 
 @pytest.fixture(scope="session")

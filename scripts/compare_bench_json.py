@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare two benchmark JSON documents, ignoring wall-clock metadata.
+
+Usage::
+
+    python scripts/compare_bench_json.py serial.json parallel.json
+
+The documents are the ``repro bench --json`` output (a list of experiment
+results).  Simulated timings, tables and figure series must match exactly —
+only the ``meta`` block (wall-clock per cell, worker count) is allowed to
+differ between runs, so it is stripped before comparison.  Exit status 0
+means identical, 1 means a divergence (printed), 2 means usage error.
+"""
+
+import json
+import sys
+
+
+def strip_meta(document):
+    """Drop every ``meta`` key — the only run-dependent part of a result."""
+    if isinstance(document, dict):
+        return {
+            key: strip_meta(value)
+            for key, value in document.items()
+            if key != "meta"
+        }
+    if isinstance(document, list):
+        return [strip_meta(item) for item in document]
+    return document
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        left = strip_meta(json.load(handle))
+    with open(argv[2]) as handle:
+        right = strip_meta(json.load(handle))
+    if left == right:
+        print(f"identical (ignoring meta): {argv[1]} == {argv[2]}")
+        return 0
+    left_names = [r.get("name") for r in left] if isinstance(left, list) else []
+    right_names = (
+        [r.get("name") for r in right] if isinstance(right, list) else []
+    )
+    print(f"MISMATCH between {argv[1]} and {argv[2]}", file=sys.stderr)
+    if left_names != right_names:
+        print(f"  experiments: {left_names} vs {right_names}", file=sys.stderr)
+    elif isinstance(left, list):
+        for one, two in zip(left, right):
+            if one != two:
+                keys = [
+                    key for key in one
+                    if one.get(key) != two.get(key)
+                ]
+                print(
+                    f"  {one.get('name')}: differing keys {keys}",
+                    file=sys.stderr,
+                )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

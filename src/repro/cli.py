@@ -69,9 +69,27 @@ def build_parser():
     bench = sub.add_parser(
         "bench", help="regenerate one of the paper's tables/figures"
     )
-    bench.add_argument("--experiment", help="e.g. table6, figure7")
+    bench.add_argument(
+        "--experiment",
+        help="experiment name or comma-separated list (e.g. "
+             "'table6' or 'figure6,figure7'); 'all' runs every experiment",
+    )
     bench.add_argument("--triples", type=int, default=60_000)
     bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for experiment cells (default: "
+             "REPRO_BENCH_JOBS or 1; results are byte-identical to serial)",
+    )
+    bench.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write machine-readable results (timings + wall-clock "
+             "meta) to PATH ('-' for stdout instead of the rendered text)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk artifact cache (datasets, store payloads)",
+    )
     bench.add_argument(
         "--list", action="store_true", help="list experiment names"
     )
@@ -212,30 +230,74 @@ _EXPERIMENTS = {
 
 
 def _command_bench(args):
+    import inspect
+    import json
+    import os
+
     from repro.bench import experiments
-    from repro.data import generate_barton
 
     if args.list or not args.experiment:
         for name in _EXPERIMENTS:
             print(name)
         return 0
-    if args.experiment not in _EXPERIMENTS:
+    if args.experiment == "all":
+        names = list(_EXPERIMENTS)
+    else:
+        names = [n.strip() for n in args.experiment.split(",") if n.strip()]
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
         log.error(
-            "unknown experiment %r; choose from %s",
-            args.experiment, ", ".join(_EXPERIMENTS),
+            "unknown experiment(s) %s; choose from %s",
+            ", ".join(map(repr, unknown)), ", ".join(_EXPERIMENTS),
         )
         return 2
-    function_name, needs_dataset = _EXPERIMENTS[args.experiment]
-    driver = getattr(experiments, function_name)
-    if needs_dataset:
-        dataset = generate_barton(n_triples=args.triples, seed=args.seed)
-        result = driver(dataset)
-    else:
-        result = driver()
-    for item in result if isinstance(result, list) else [result]:
-        print(item.render())
-        print()
+
+    if args.no_cache:
+        os.environ["REPRO_CACHE_DISABLE"] = "1"
+
+    dataset = None  # generated once, shared by every requested experiment
+    results = []
+    for name in names:
+        function_name, needs_dataset = _EXPERIMENTS[name]
+        driver = getattr(experiments, function_name)
+        kwargs = {}
+        if args.jobs is not None:
+            if "jobs" in inspect.signature(driver).parameters:
+                kwargs["jobs"] = args.jobs
+        if needs_dataset:
+            if dataset is None:
+                dataset = _bench_dataset(args)
+            result = driver(dataset, **kwargs)
+        else:
+            result = driver(**kwargs)
+        results.extend(result if isinstance(result, list) else [result])
+
+    if args.json != "-":
+        for item in results:
+            print(item.render())
+            print()
+    if args.json:
+        document = json.dumps(
+            [item.to_dict() for item in results], indent=2, sort_keys=True
+        )
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(document + "\n")
+            log.info("wrote %d experiment result(s) to %s",
+                     len(results), args.json)
     return 0
+
+
+def _bench_dataset(args):
+    """The benchmark dataset — served from the artifact cache when enabled."""
+    from repro.bench.artifacts import cache_disabled, cached_dataset
+    from repro.data import generate_barton
+
+    if cache_disabled():
+        return generate_barton(n_triples=args.triples, seed=args.seed)
+    return cached_dataset(n_triples=args.triples, seed=args.seed)
 
 
 def _command_profile(args):

@@ -68,12 +68,16 @@ class ColumnStoreEngine:
     # DDL / catalog
     # ------------------------------------------------------------------
 
-    def create_table(self, name, columns, sort_by=None, indexes=None):
+    def create_table(self, name, columns, sort_by=None, indexes=None,
+                     presorted=False):
         """Create a sorted column table.
 
         *indexes* is accepted for interface parity with the row store but
         must be empty: "MonetDB/SQL does not include user defined indices"
         (paper, Section 4.1) — callers express physical design as sort order.
+
+        *presorted* asserts the columns already arrive in *sort_by* order
+        (e.g. restored from the artifact cache), skipping the load sort.
         """
         if indexes:
             raise StorageError(
@@ -82,7 +86,9 @@ class ColumnStoreEngine:
             )
         if name in self._tables:
             raise StorageError(f"table already exists: {name!r}")
-        table = ColumnTable(name, columns, self.disk, sort_order=sort_by)
+        table = ColumnTable(
+            name, columns, self.disk, sort_order=sort_by, presorted=presorted
+        )
         self._tables[name] = table
         return table
 

@@ -15,7 +15,7 @@ class ColumnTable:
     column-store's "read only what the query touches" advantage.
     """
 
-    def __init__(self, name, columns, disk, sort_order=None):
+    def __init__(self, name, columns, disk, sort_order=None, presorted=False):
         if not columns:
             raise StorageError(f"table {name!r} needs at least one column")
         sort_order = list(sort_order or [])
@@ -34,7 +34,7 @@ class ColumnTable:
             raise StorageError(f"ragged columns in table {name!r}")
         n_rows = lengths.pop()
 
-        if sort_order:
+        if sort_order and not presorted:
             # np.lexsort sorts by the *last* key first.
             keys = [arrays[col] for col in reversed(sort_order)]
             order = np.lexsort(keys)

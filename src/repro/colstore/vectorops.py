@@ -9,7 +9,48 @@ happens in the executor that calls them.
 import numpy as np
 
 
-def join_indices(left_keys, right_keys):
+def _is_sorted(array):
+    """O(n) check — far cheaper than the O(n log n) argsort it can save."""
+    return array.size < 2 or bool(np.all(array[1:] >= array[:-1]))
+
+
+def _dense_codes(array):
+    """Rank codes via a counting LUT when the value range is dense.
+
+    Returns ``(codes, n_distinct)`` with codes identical to
+    ``np.unique(array, return_inverse=True)[1]`` (rank among sorted distinct
+    values), computed in O(n + range) instead of O(n log n).  Returns
+    ``None`` when the value range is too sparse for the LUT to pay off —
+    dictionary OIDs are dense, so benchmark-shaped inputs qualify.
+    """
+    n = array.size
+    amin = int(array.min())
+    value_range = int(array.max()) - amin + 1
+    if value_range > 4 * n + 65536:
+        return None
+    rel = array - amin
+    present = np.zeros(value_range, dtype=bool)
+    present[rel] = True
+    lut = np.cumsum(present, dtype=np.int64)
+    lut -= 1
+    return lut[rel], int(lut[-1]) + 1
+
+
+def _stable_argsort(keys):
+    """``np.argsort(keys, kind="stable")``, via int16 radix sort when the
+    key range is dense and narrow enough.
+
+    A stable argsort of rank codes equals a stable argsort of the values
+    themselves (codes are order-isomorphic), and numpy's stable sort on
+    16-bit integers is a radix sort — O(n) instead of a comparison sort.
+    """
+    dense = _dense_codes(keys)
+    if dense is not None and dense[1] <= np.iinfo(np.int16).max:
+        return np.argsort(dense[0].astype(np.int16), kind="stable")
+    return np.argsort(keys, kind="stable")
+
+
+def join_indices(left_keys, right_keys, assume_sorted=False):
     """Indices realizing the inner equi-join of two key arrays.
 
     Returns ``(left_idx, right_idx)`` such that
@@ -17,6 +58,11 @@ def join_indices(left_keys, right_keys):
     matching pair.  ``left_idx`` is non-decreasing, so the join output
     preserves the left input's ordering (the property the executor relies on
     for sortedness propagation).
+
+    With ``assume_sorted=True`` the right input is taken to be already
+    sorted ascending and the ``np.argsort`` is skipped — the executor passes
+    this when the plan's sort-order metadata proves the right side sorted
+    (e.g. the SO-sorted vertical tables joined on subject).
     """
     left_keys = np.asarray(left_keys, dtype=np.int64)
     right_keys = np.asarray(right_keys, dtype=np.int64)
@@ -24,8 +70,15 @@ def join_indices(left_keys, right_keys):
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
 
-    order = np.argsort(right_keys, kind="stable")
-    sorted_right = right_keys[order]
+    if assume_sorted or _is_sorted(right_keys):
+        # Already sorted (proven by plan metadata, or detected at run time —
+        # a stable argsort of a sorted array is the identity permutation, so
+        # skipping it cannot change the output).
+        order = None
+        sorted_right = right_keys
+    else:
+        order = _stable_argsort(right_keys)
+        sorted_right = right_keys[order]
     lo = np.searchsorted(sorted_right, left_keys, side="left")
     hi = np.searchsorted(sorted_right, left_keys, side="right")
     counts = hi - lo
@@ -38,7 +91,8 @@ def join_indices(left_keys, right_keys):
     # For each output row, its offset within the matching right-side run.
     run_starts = np.repeat(np.cumsum(counts) - counts, counts)
     within = np.arange(total, dtype=np.int64) - run_starts
-    right_idx = order[np.repeat(lo, counts) + within]
+    sorted_positions = np.repeat(lo, counts) + within
+    right_idx = sorted_positions if order is None else order[sorted_positions]
     return left_idx, right_idx
 
 
@@ -55,11 +109,36 @@ def factorize_rows(arrays):
     if n == 0:
         return np.empty(0, dtype=np.int64), 0
     if len(arrays) == 1:
-        uniques, codes = np.unique(arrays[0], return_inverse=True)
+        array = arrays[0]
+        if _is_sorted(array):
+            # For sorted input np.unique's inverse is the running count of
+            # value changes — same codes, no argsort.
+            codes = np.empty(n, dtype=np.int64)
+            codes[0] = 0
+            np.cumsum(array[1:] != array[:-1], out=codes[1:])
+            return codes, int(codes[-1]) + 1
+        dense = _dense_codes(array)
+        if dense is not None:
+            return dense
+        uniques, codes = np.unique(array, return_inverse=True)
         return codes.astype(np.int64), len(uniques)
-    stacked = np.column_stack(arrays)
-    uniques, codes = np.unique(stacked, axis=0, return_inverse=True)
-    return codes.reshape(-1).astype(np.int64), len(uniques)
+    # Multi-column: rank-code each column, then pair the codes into one
+    # int64 key whose numeric order is the rows' lexicographic order — the
+    # final rank compression therefore assigns the exact codes
+    # ``np.unique(axis=0)`` would, without its slow row-wise comparisons.
+    combined, span = None, 1
+    for array in arrays:
+        codes, n_codes = factorize_rows([array])
+        if combined is None:
+            combined, span = codes, n_codes
+        elif span * n_codes >= 2 ** 62:  # pairing would overflow int64
+            stacked = np.column_stack(arrays)
+            uniques, codes = np.unique(stacked, axis=0, return_inverse=True)
+            return codes.reshape(-1).astype(np.int64), len(uniques)
+        else:
+            combined = combined * n_codes + codes
+            span *= n_codes
+    return factorize_rows([combined])
 
 
 def factorize_rows_shared(left_arrays, right_arrays):
@@ -77,6 +156,17 @@ def factorize_rows_shared(left_arrays, right_arrays):
     return codes[:n_left], codes[n_left:]
 
 
+def _first_positions(codes, n_codes):
+    """First row index of each dense code, in code (= sorted key) order.
+
+    Equivalent to ``np.unique(codes, return_index=True)[1]`` — factorized
+    codes are dense, so a reverse scatter replaces the O(n log n) sort.
+    """
+    first = np.empty(n_codes, dtype=np.int64)
+    first[codes[::-1]] = np.arange(len(codes) - 1, -1, -1, dtype=np.int64)
+    return first
+
+
 def group_count(key_arrays):
     """Group rows by key columns and count each group.
 
@@ -88,10 +178,9 @@ def group_count(key_arrays):
         return [np.empty(0, dtype=np.int64) for _ in key_arrays], np.empty(
             0, dtype=np.int64
         )
-    codes, _ = factorize_rows(key_arrays)
-    unique_codes, first_pos, counts = np.unique(
-        codes, return_index=True, return_counts=True
-    )
+    codes, n_groups = factorize_rows(key_arrays)
+    counts = np.bincount(codes, minlength=n_groups)
+    first_pos = _first_positions(codes, n_groups)
     keys = [a[first_pos] for a in key_arrays]
     return keys, counts.astype(np.int64)
 
@@ -107,9 +196,15 @@ def group_aggregate(key_arrays, value_array, func):
     codes, _ = factorize_rows(
         [np.asarray(a, dtype=np.int64) for a in key_arrays]
     )
-    order = np.argsort(codes, kind="stable")
-    sorted_values = value_array[order]
-    _, starts = np.unique(codes[order], return_index=True)
+    if _is_sorted(codes):
+        sorted_codes, sorted_values = codes, value_array
+    else:
+        order = np.argsort(codes, kind="stable")
+        sorted_codes, sorted_values = codes[order], value_array[order]
+    starts = np.empty(int(sorted_codes[-1]) + 1, dtype=np.int64)
+    starts[0] = 0
+    changes = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1])
+    starts[1:] = changes + 1
     reducer = {"min": np.minimum, "max": np.maximum}[func]
     return reducer.reduceat(sorted_values, starts)
 
@@ -122,6 +217,5 @@ def distinct_rows(arrays):
     arrays = [np.asarray(a, dtype=np.int64) for a in arrays]
     if len(arrays[0]) == 0:
         return np.empty(0, dtype=np.int64)
-    codes, _ = factorize_rows(arrays)
-    _, first_pos = np.unique(codes, return_index=True)
-    return first_pos.astype(np.int64)
+    codes, n_distinct = factorize_rows(arrays)
+    return _first_positions(codes, n_distinct)

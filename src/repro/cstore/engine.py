@@ -75,14 +75,20 @@ class CStoreEngine:
             dictionary = Dictionary()
         interesting = list(interesting_properties)
         wanted = set(interesting)
+        loaded = [t for t in triples if t.p in wanted]
+        # Bulk-encode with one encode_many call; the flattened (s, o, p)
+        # order preserves the oid assignment of the per-triple loop this
+        # replaces, so the stored keys are byte-identical.
+        flat = []
+        push = flat.append
+        for t in loaded:
+            push(t.s)
+            push(t.o)
+            push(t.p)
+        oids = dictionary.encode_many(flat)
         groups = {p: [] for p in interesting}
-        for t in triples:
-            if t.p not in wanted:
-                continue
-            s = dictionary.encode(t.s)
-            o = dictionary.encode(t.o)
-            dictionary.encode(t.p)
-            groups[t.p].append(((s, o), 0))
+        for i, t in enumerate(loaded):
+            groups[t.p].append(((oids[3 * i], oids[3 * i + 1]), 0))
         for p in interesting:
             oid = dictionary.encode(p)
             self.catalog.add(

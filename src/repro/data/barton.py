@@ -155,15 +155,19 @@ def generate_barton(config=None, **overrides):
     classes = _class_names(config)
     class_assignment = _assign_classes(rng, n_entities, classes, config)
 
+    # Name tables computed once: every emitter below indexes into these
+    # instead of formatting per-triple f-strings.
+    entity_names = [_entity_name(i) for i in range(n_entities)]
+
     triples = []
-    _emit_type_triples(triples, class_assignment, classes)
+    _emit_type_triples(triples, class_assignment, classes, entity_names)
     for rank in range(1, config.n_properties):
         prop = properties[rank]
         count = int(counts[rank])
-        if _is_entity_valued(rank, config):
-            _emit_entity_valued(triples, rng, prop, count, n_entities)
+        if _is_entity_valued(rank, config, properties):
+            _emit_entity_valued(triples, rng, prop, count, entity_names)
         else:
-            _emit_literal_valued(triples, rng, prop, rank, count, n_entities)
+            _emit_literal_valued(triples, rng, prop, rank, count, entity_names)
     _emit_hook_triples(triples, n_entities)
 
     triples = _dedupe(triples)
@@ -219,16 +223,16 @@ def _assign_classes(rng, n_entities, classes, config):
     return assignment
 
 
-def _emit_type_triples(triples, class_assignment, classes):
-    for entity, class_index in enumerate(class_assignment):
-        triples.append(
-            Triple(_entity_name(entity), TYPE, classes[class_index])
-        )
+def _emit_type_triples(triples, class_assignment, classes, entity_names):
+    triples.extend(
+        Triple(entity_names[entity], TYPE, classes[class_index])
+        for entity, class_index in enumerate(class_assignment.tolist())
+    )
 
 
-def _is_entity_valued(rank, config):
+def _is_entity_valued(rank, config, properties=None):
     """Is the property at *rank* entity-valued (objects are entities)?"""
-    prop_names = _property_names(config)
+    prop_names = properties if properties is not None else _property_names(config)
     if prop_names[rank] == RECORDS:
         return True
     if prop_names[rank] in (LANGUAGE, ORIGIN, POINT, ENCODING):
@@ -236,11 +240,14 @@ def _is_entity_valued(rank, config):
     return rank % config.entity_valued_every == 0
 
 
-def _emit_entity_valued(triples, rng, prop, count, n_entities):
+def _emit_entity_valued(triples, rng, prop, count, entity_names):
+    n_entities = len(entity_names)
     subjects = rng.integers(0, n_entities, size=count)
     objects = rng.integers(0, n_entities, size=count)
-    for s, o in zip(subjects, objects):
-        triples.append(Triple(_entity_name(s), prop, _entity_name(o)))
+    triples.extend(
+        Triple(entity_names[s], prop, entity_names[o])
+        for s, o in zip(subjects.tolist(), objects.tolist())
+    )
 
 
 #: Fixed literal vocabularies for the well-known literal-valued properties.
@@ -258,22 +265,23 @@ _FIXED_VOCABULARIES = {
 }
 
 
-def _emit_literal_valued(triples, rng, prop, rank, count, n_entities):
+def _emit_literal_valued(triples, rng, prop, rank, count, entity_names):
     vocabulary = _FIXED_VOCABULARIES.get(prop)
     if vocabulary is None:
         vocab_size = max(2, count // 3)
-        vocabulary = None  # literals are synthesized from indices below
+        # Synthesized literal vocabulary, built once instead of formatting
+        # an f-string per triple.
+        vocabulary = [f'"p{rank}_{j}"' for j in range(vocab_size)]
     else:
         vocab_size = len(vocabulary)
     weights = zipf_weights(vocab_size, 1.1)
+    n_entities = len(entity_names)
     subjects = rng.integers(0, n_entities, size=count)
     object_indices = rng.choice(vocab_size, size=count, p=weights)
-    for s, j in zip(subjects, object_indices):
-        if vocabulary is None:
-            obj = f'"p{rank}_{j}"'
-        else:
-            obj = vocabulary[j]
-        triples.append(Triple(_entity_name(s), prop, obj))
+    triples.extend(
+        Triple(entity_names[s], prop, vocabulary[j])
+        for s, j in zip(subjects.tolist(), object_indices.tolist())
+    )
 
 
 def _emit_hook_triples(triples, n_entities):
@@ -312,10 +320,13 @@ def _emit_hook_triples(triples, n_entities):
 
 def _dedupe(triples):
     seen = set()
+    add = seen.add
     unique = []
+    keep = unique.append
+    n_seen = 0
     for t in triples:
-        key = t.as_tuple()
-        if key not in seen:
-            seen.add(key)
-            unique.append(t)
+        add((t.s, t.p, t.o))
+        if len(seen) != n_seen:
+            n_seen += 1
+            keep(t)
     return unique

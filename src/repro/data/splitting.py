@@ -11,6 +11,8 @@ vocabulary of a dataset to a target size by splitting the most frequent
 properties into uniform sub-properties, renaming the affected triples.
 """
 
+from collections import Counter
+
 import numpy as np
 
 from repro.errors import BenchmarkError
@@ -29,9 +31,7 @@ def split_properties(triples, target_property_count, seed=0,
 
     Returns ``(new_triples, property_names)``.
     """
-    counts = {}
-    for t in triples:
-        counts[t.p] = counts.get(t.p, 0) + 1
+    counts = Counter(t.p for t in triples)
     current = len(counts)
     if target_property_count < current:
         raise BenchmarkError(

@@ -66,11 +66,14 @@ class RowStoreEngine:
     # DDL / catalog
     # ------------------------------------------------------------------
 
-    def create_table(self, name, columns, sort_by=None, indexes=None):
+    def create_table(self, name, columns, sort_by=None, indexes=None,
+                     presorted=False):
         """Create a table clustered on *sort_by* with secondary *indexes*.
 
         *indexes* is a list of ``{"name": ..., "columns": [...]}`` dicts
-        (or None/empty for none).
+        (or None/empty for none).  *presorted* asserts the columns already
+        arrive in clustering order (e.g. restored from the artifact cache),
+        skipping the load sort.
         """
         if name in self._tables:
             raise StorageError(f"table already exists: {name!r}")
@@ -81,6 +84,7 @@ class RowStoreEngine:
             clustering=sort_by,
             indexes=indexes or (),
             btree_order=self.btree_order,
+            presorted=presorted,
         )
         for index in table.all_indexes():
             self._wire_index_accounting(index)

@@ -41,7 +41,7 @@ class RowTable:
     """A heap of tuples clustered on a key, with optional secondaries."""
 
     def __init__(self, name, columns, disk, clustering, indexes=(),
-                 btree_order=64):
+                 btree_order=64, presorted=False):
         if not columns:
             raise StorageError(f"table {name!r} needs at least one column")
         clustering = list(clustering or [])
@@ -56,12 +56,16 @@ class RowTable:
         lengths = {len(a) for a in arrays}
         if len(lengths) != 1:
             raise StorageError(f"ragged columns in table {name!r}")
-        rows = list(zip(*(a.tolist() for a in arrays))) if arrays[0].size else []
 
         position = {c: i for i, c in enumerate(names)}
-        if clustering:
-            key_pos = [position[c] for c in clustering]
-            rows.sort(key=lambda r: tuple(r[i] for i in key_pos))
+        if clustering and arrays[0].size and not presorted:
+            # np.lexsort sorts by the last key first; it is stable, so ties
+            # keep input order exactly like the sort it replaces.
+            order = np.lexsort(
+                tuple(arrays[position[c]] for c in reversed(clustering))
+            )
+            arrays = [a[order] for a in arrays]
+        rows = list(zip(*(a.tolist() for a in arrays))) if arrays[0].size else []
 
         self.name = name
         self.columns = names
@@ -78,15 +82,16 @@ class RowTable:
         if clustering:
             self._build_index(
                 f"{name}_clustered", clustering, disk, clustered=True,
-                order=btree_order,
+                order=btree_order, arrays=arrays,
             )
         for spec in indexes or ():
             self._build_index(
                 spec["name"], spec["columns"], disk, clustered=False,
-                order=btree_order,
+                order=btree_order, arrays=arrays,
             )
 
-    def _build_index(self, index_name, key_columns, disk, clustered, order):
+    def _build_index(self, index_name, key_columns, disk, clustered, order,
+                     arrays=None):
         for col in key_columns:
             if col not in self._position:
                 raise StorageError(
@@ -95,12 +100,24 @@ class RowTable:
         if index_name in self.indexes:
             raise StorageError(f"duplicate index name {index_name!r}")
         key_pos = [self._position[c] for c in key_columns]
-        pairs = sorted(
-            ((tuple(row[i] for i in key_pos), row_id)
-             for row_id, row in enumerate(self.rows)),
-            key=lambda kv: kv[0],
-        )
-        tree = BPlusTree.bulk_load(pairs, order=order)
+        if arrays is None:
+            arrays = [
+                np.fromiter(
+                    (row[i] for row in self.rows), dtype=np.int64,
+                    count=self.n_rows,
+                )
+                for i in range(len(self.columns))
+            ]
+        if self.n_rows:
+            key_arrays = [arrays[i] for i in key_pos]
+            # Stable lexsort == the stable tuple sort it replaces: equal
+            # keys keep ascending row-id order.
+            row_ids = np.lexsort(tuple(reversed(key_arrays)))
+            keys = list(zip(*(a[row_ids].tolist() for a in key_arrays)))
+            values = row_ids.tolist()
+        else:
+            keys, values = [], []
+        tree = BPlusTree.from_sorted(keys, values, order=order)
         # One page per node; size the segment accordingly.
         segment = disk.create_segment(
             f"{self.name}.{index_name}",

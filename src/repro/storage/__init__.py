@@ -18,16 +18,26 @@ created; the query builders in :mod:`repro.queries` consume the catalog.
 """
 
 from repro.storage.catalog import StoreCatalog, CLUSTERINGS
-from repro.storage.triple_store import build_triple_store
-from repro.storage.vertical_store import build_vertical_store
+from repro.storage.payload import build_store_from_payload
+from repro.storage.triple_store import (
+    build_triple_store,
+    prepare_triple_payload,
+)
+from repro.storage.vertical_store import (
+    build_vertical_store,
+    prepare_vertical_payload,
+)
 from repro.storage.property_table import build_property_table_store
 from repro.storage.maintenance import insert_triples, MaintenanceReport
 
 __all__ = [
     "StoreCatalog",
     "CLUSTERINGS",
+    "build_store_from_payload",
     "build_triple_store",
     "build_vertical_store",
+    "prepare_triple_payload",
+    "prepare_vertical_payload",
     "build_property_table_store",
     "insert_triples",
     "MaintenanceReport",

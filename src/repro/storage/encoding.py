@@ -27,12 +27,12 @@ def order_preserving_dictionary(triples, dictionary=None):
     if dictionary is None:
         dictionary = Dictionary()
     vocabulary = set()
+    add = vocabulary.add
     for t in triples:
-        vocabulary.add(t.s)
-        vocabulary.add(t.p)
-        vocabulary.add(t.o)
-    for string in sorted(vocabulary):
-        dictionary.encode(string)
+        add(t.s)
+        add(t.p)
+        add(t.o)
+    dictionary.encode_many(sorted(vocabulary))
     return dictionary
 
 

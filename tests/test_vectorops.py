@@ -9,6 +9,7 @@ from repro.colstore.vectorops import (
     distinct_rows,
     factorize_rows,
     factorize_rows_shared,
+    group_aggregate,
     group_count,
     join_indices,
 )
@@ -148,3 +149,77 @@ def test_property_distinct_matches_set(a, b):
     got = {(arr_a[i], arr_b[i]) for i in idx.tolist()}
     assert got == set(zip(a[:n], b[:n]))
     assert len(idx) == len(got)
+
+
+class TestFastPathEquivalence:
+    """The sorted / dense-code fast paths must match numpy's reference."""
+
+    def test_sorted_factorize_matches_unique(self):
+        array = np.array([3, 3, 5, 9, 9, 9, 12], dtype=np.int64)
+        codes, n = factorize_rows([array])
+        ref_uniques, ref_codes = np.unique(array, return_inverse=True)
+        assert np.array_equal(codes, ref_codes)
+        assert n == len(ref_uniques)
+
+    def test_dense_unsorted_factorize_matches_unique(self):
+        rng = np.random.default_rng(7)
+        array = rng.integers(100, 160, size=500).astype(np.int64)
+        codes, n = factorize_rows([array])
+        ref_uniques, ref_codes = np.unique(array, return_inverse=True)
+        assert np.array_equal(codes, ref_codes)
+        assert n == len(ref_uniques)
+
+    def test_sparse_factorize_matches_unique(self):
+        array = np.array([10**12, 5, -(10**12), 5, 0], dtype=np.int64)
+        codes, n = factorize_rows([array])
+        ref_uniques, ref_codes = np.unique(array, return_inverse=True)
+        assert np.array_equal(codes, ref_codes)
+        assert n == len(ref_uniques)
+
+    def test_multi_column_matches_unique_axis0(self):
+        rng = np.random.default_rng(11)
+        a = rng.integers(0, 40, size=300).astype(np.int64)
+        b = rng.integers(-5, 30, size=300).astype(np.int64)
+        codes, n = factorize_rows([a, b])
+        ref_uniques, ref_codes = np.unique(
+            np.column_stack([a, b]), axis=0, return_inverse=True
+        )
+        assert np.array_equal(codes, ref_codes.reshape(-1))
+        assert n == len(ref_uniques)
+
+    def test_join_sorted_right_detected_at_runtime(self):
+        left = np.array([4, 2, 4, 9], dtype=np.int64)
+        right = np.array([2, 2, 4, 8, 9], dtype=np.int64)  # sorted
+        li, ri = join_indices(left, right)  # no assume_sorted hint
+        li2, ri2 = join_indices(left, right, assume_sorted=True)
+        assert np.array_equal(li, li2) and np.array_equal(ri, ri2)
+
+    def test_join_dense_unsorted_right_matches_bruteforce(self):
+        rng = np.random.default_rng(13)
+        left = rng.integers(0, 50, size=80).astype(np.int64)
+        right = rng.integers(0, 50, size=90).astype(np.int64)
+        li, ri = join_indices(left, right)
+        expected = [
+            (i, j)
+            for i in range(len(left))
+            for j in range(len(right))
+            if left[i] == right[j]
+        ]
+        assert sorted(zip(li.tolist(), ri.tolist())) == sorted(expected)
+        # Stable: right indices ascend within each left row's run.
+        for i in np.unique(li):
+            run = ri[li == i]
+            assert np.all(run[1:] > run[:-1])
+
+
+@given(keys, keys)
+def test_property_group_aggregate_matches_reference(a, b):
+    n = min(len(a), len(b))
+    if n == 0:
+        return
+    key_arr, val_arr = np.array(a[:n]), np.array(b[:n])
+    got = group_aggregate([key_arr], val_arr, "min")
+    expected = {}
+    for k, v in zip(a[:n], b[:n]):
+        expected[k] = min(v, expected.get(k, v))
+    assert got.tolist() == [expected[k] for k in sorted(expected)]
