@@ -1,0 +1,77 @@
+"""Static analysis: plan linting and codebase invariant checking.
+
+Two heads, one subsystem:
+
+* **Plan linter** (:mod:`repro.analysis.plan_lint`) — walks
+  :class:`~repro.plan.logical.LogicalPlan` trees before execution and
+  reports shape problems the engines would otherwise burn time on:
+  cartesian products, unsatisfiable predicate conjunctions, dead scan
+  columns, dictionary-domain mismatches in join keys, duplicate output
+  columns, and selections the planner should have pushed below a join.
+  Exposed as ``repro analyze <query>`` and wired (mode-gated) into the SQL
+  planner, the SPARQL executor, the benchmark query builders and the
+  join-order optimizer.
+
+* **Codebase invariant checker** (:mod:`repro.analysis.code_lint`) — an
+  :mod:`ast`-based linter with repo-specific rules generic tools cannot
+  express: no wall clock or unseeded randomness reachable from
+  simulated-cost paths, no bare-``set`` iteration feeding benchmark or
+  report output, join kernels must thread their sort-order hint, and no
+  mutation of logical-plan nodes after construction.  Exposed as
+  ``repro lint`` with a checked-in ratchet baseline
+  (:mod:`repro.analysis.baseline`).
+
+Rule catalog and workflow: ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    max_severity,
+    worst,
+)
+from repro.analysis.plan_lint import (
+    PLAN_RULES,
+    check_plan,
+    lint_mode,
+    lint_plan,
+    set_lint_mode,
+)
+from repro.analysis.code_lint import (
+    CODE_RULES,
+    Violation,
+    lint_package,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Violation",
+    "SEVERITIES",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "max_severity",
+    "worst",
+    "PLAN_RULES",
+    "CODE_RULES",
+    "lint_plan",
+    "check_plan",
+    "lint_mode",
+    "set_lint_mode",
+    "lint_source",
+    "lint_paths",
+    "lint_package",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,92 @@
+"""Ratchet baseline for the codebase invariant checker.
+
+Existing violations are recorded — not ignored — in a checked-in JSON
+file keyed by line-number-free fingerprints with per-fingerprint counts.
+``repro lint`` fails on any violation *beyond* its baselined count, so the
+count can only go down ("ratchet"): fixing a violation and refreshing the
+baseline tightens the gate permanently.
+
+File format (sorted keys, trailing newline, so diffs are reviewable)::
+
+    {
+      "version": 1,
+      "entries": {
+        "<rule>::<path>::<scope>::<symbol>": <count>,
+        ...
+      }
+    }
+"""
+
+import json
+
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline file name at the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path):
+    """Read a baseline file; returns ``{fingerprint: allowed_count}``."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "entries" not in document:
+        raise ReproError(f"{path}: not a lint baseline file")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ReproError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = document["entries"]
+    if not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in entries.items()
+    ):
+        raise ReproError(f"{path}: malformed baseline entries")
+    return dict(entries)
+
+
+def counted(violations):
+    """``{fingerprint: count}`` over a violation list."""
+    counts = {}
+    for v in violations:
+        counts[v.fingerprint] = counts.get(v.fingerprint, 0) + 1
+    return counts
+
+
+def apply_baseline(violations, baseline):
+    """Split violations into new vs baselined.
+
+    Returns ``(new, suppressed_count, stale_fingerprints)`` where *new*
+    are the violations exceeding their baselined count (all occurrences of
+    an over-budget fingerprint are reported, so the report is actionable),
+    and *stale_fingerprints* are baseline entries that no longer occur —
+    the ratchet can be tightened with ``--update-baseline``.  *baseline*
+    may be ``None`` (no baseline: every violation is new).
+    """
+    if baseline is None:
+        baseline = {}
+    counts = counted(violations)
+    over_budget = {
+        fp for fp, n in counts.items() if n > baseline.get(fp, 0)
+    }
+    new = [v for v in violations if v.fingerprint in over_budget]
+    suppressed = len(violations) - len(new)
+    stale = sorted(
+        fp for fp, allowed in baseline.items()
+        if counts.get(fp, 0) < allowed
+    )
+    return new, suppressed, stale
+
+
+def write_baseline(path, violations):
+    """Write the baseline for the given violations (sorted, stable)."""
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": dict(sorted(counted(violations).items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,84 @@
+"""The diagnostic model shared by both analysis heads.
+
+A diagnostic is one finding: which rule fired, how bad it is, where in the
+plan tree it points (a ``$.child.left``-style node path), what is wrong,
+and — when the rule knows — how to fix it.
+"""
+
+from dataclasses import dataclass
+
+#: Severity levels, least to most severe.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+SEVERITIES = (INFO, WARNING, ERROR)
+
+_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity):
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+def max_severity(diagnostics):
+    """The worst severity present, or ``None`` for an empty list."""
+    worst_seen = None
+    for d in diagnostics:
+        if worst_seen is None or severity_rank(d.severity) > severity_rank(
+            worst_seen
+        ):
+            worst_seen = d.severity
+    return worst_seen
+
+
+def worst(diagnostics, at_least=WARNING):
+    """Diagnostics at or above the *at_least* severity."""
+    floor = severity_rank(at_least)
+    return [d for d in diagnostics if severity_rank(d.severity) >= floor]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One plan-linter finding."""
+
+    rule: str        # rule id, e.g. "cartesian-product"
+    severity: str    # "info" | "warning" | "error"
+    path: str        # node path from the plan root, e.g. "$.child.left"
+    node: str        # short repr of the offending node
+    message: str
+    hint: str = ""   # fix hint; empty when the rule has none
+
+    def __post_init__(self):
+        severity_rank(self.severity)  # validate
+
+    def render(self):
+        text = (
+            f"{self.severity:<7} {self.rule:<22} at {self.path} "
+            f"[{self.node}]: {self.message}"
+        )
+        if self.hint:
+            text += f"\n        hint: {self.hint}"
+        return text
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "node": self.node,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_diagnostics(diagnostics):
+    """Deterministic report order: most severe first, then path, then rule."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (-severity_rank(d.severity), d.path, d.rule, d.message),
+    )

@@ -1,0 +1,264 @@
+"""Column provenance facts the plan-linter rules share.
+
+One bottom-up / top-down sweep over a :class:`LogicalPlan` tree computes,
+per node:
+
+* **paths** — a ``$.child.left``-style locator for diagnostics,
+* **constants** — columns pinned to a single value (by an ``Extend`` or an
+  equality selection); a join whose every key pair is constant on both
+  sides does not relate its inputs,
+* **domains** — which dictionary domain a column carries
+  (``subject`` / ``property`` / ``object`` / ``count``); joining a
+  property-coded column against an entity-coded one compares oids from
+  different vocabularies,
+* **consumed** — which of a node's output columns any ancestor actually
+  reads, mirroring the executors' needed-column propagation; a scan column
+  nobody consumes is a projection-pushdown opportunity.
+
+Subject- and object-coded columns share the entity value space (the
+paper's q8 joins object against object, q5 walks object into subject), so
+``subject`` vs ``object`` is *not* a domain mismatch; ``property`` and
+``count`` columns live in their own domains.
+"""
+
+from repro.plan import logical as L
+from repro.plan.predicates import ColumnComparison, Comparison
+
+#: Dictionary domains a column can carry.
+SUBJECT = "subject"
+PROPERTY = "property"
+OBJECT = "object"
+COUNT = "count"
+UNKNOWN = "unknown"
+
+#: Domains that share the entity value space: joins between them are fine.
+ENTITY_DOMAINS = frozenset({SUBJECT, OBJECT})
+
+_BASE_DOMAINS = {"subj": SUBJECT, "prop": PROPERTY, "obj": OBJECT}
+
+
+def child_edges(node):
+    """``(edge_label, child)`` pairs, labelling each child slot."""
+    if isinstance(node, L.Join):
+        return (("left", node.left), ("right", node.right))
+    if isinstance(node, L.Union):
+        return tuple(
+            (f"inputs[{i}]", child) for i, child in enumerate(node.inputs)
+        )
+    children = node.children()
+    if not children:
+        return ()
+    return (("child", children[0]),)
+
+
+class PlanFacts:
+    """Shared per-node facts for one plan tree."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.paths = {}      # id(node) -> "$.child.left"
+        self.parents = {}    # id(node) -> parent node (root absent)
+        self.constants = {}  # id(node) -> {column: pinned value (may be None)}
+        self.domains = {}    # id(node) -> {column: domain}
+        self.consumed = {}   # id(node) -> set of consumed output columns
+        self._index(plan, "$")
+        self._consume(plan, set(plan.output_columns()))
+
+    # ------------------------------------------------------------------
+    # bottom-up: paths, parents, constants, domains
+    # ------------------------------------------------------------------
+
+    def _index(self, node, path):
+        self.paths[id(node)] = path
+        for label, child in child_edges(node):
+            self.parents[id(child)] = node
+            self._index(child, f"{path}.{label}")
+        self.constants[id(node)] = self._node_constants(node)
+        self.domains[id(node)] = self._node_domains(node)
+
+    def _node_constants(self, node):
+        if isinstance(node, L.Scan):
+            return {}
+        if isinstance(node, L.Select):
+            pinned = dict(self.constants[id(node.child)])
+            for p in node.predicates:
+                if isinstance(p, Comparison) and p.is_equality():
+                    pinned[p.column] = p.value
+            return pinned
+        if isinstance(node, L.Extend):
+            pinned = dict(self.constants[id(node.child)])
+            pinned[node.column] = node.value
+            return pinned
+        if isinstance(node, L.Project):
+            child = self.constants[id(node.child)]
+            return {
+                out: child[src]
+                for out, src in node.mapping
+                if src in child
+            }
+        if isinstance(node, L.Join):
+            pinned = dict(self.constants[id(node.left)])
+            pinned.update(self.constants[id(node.right)])
+            return pinned
+        if isinstance(node, L.GroupBy):
+            child = self.constants[id(node.child)]
+            return {k: child[k] for k in node.keys if k in child}
+        if isinstance(node, L.Union):
+            branches = [self.constants[id(b)] for b in node.inputs]
+            names = node.output_columns()
+            pinned = {}
+            for position, name in enumerate(names):
+                values = set()
+                for branch, branch_constants in zip(node.inputs, branches):
+                    branch_name = branch.output_columns()[position]
+                    if branch_name not in branch_constants:
+                        break
+                    values.add(branch_constants[branch_name])
+                else:
+                    if len(values) == 1:
+                        pinned[name] = values.pop()
+            return pinned
+        # Having / Distinct / Sort / Limit: pass through.
+        children = node.children()
+        return dict(self.constants[id(children[0])]) if children else {}
+
+    def _node_domains(self, node):
+        if isinstance(node, L.Scan):
+            return {
+                node.qualified(c): _BASE_DOMAINS.get(c, UNKNOWN)
+                for c in node.base_columns
+            }
+        if isinstance(node, L.Project):
+            child = self.domains[id(node.child)]
+            return {
+                out: child.get(src, UNKNOWN) for out, src in node.mapping
+            }
+        if isinstance(node, L.Extend):
+            domains = dict(self.domains[id(node.child)])
+            # Extend's value is an opaque constant oid (a property tag in
+            # the vertical plans, a literal in SQL): leave it undomained.
+            domains[node.column] = UNKNOWN
+            return domains
+        if isinstance(node, L.Join):
+            domains = dict(self.domains[id(node.left)])
+            domains.update(self.domains[id(node.right)])
+            return domains
+        if isinstance(node, L.GroupBy):
+            child = self.domains[id(node.child)]
+            domains = {k: child.get(k, UNKNOWN) for k in node.keys}
+            domains[node.count_column] = COUNT
+            for _func, src, out in node.aggregates:
+                domains[out] = child.get(src, UNKNOWN)
+            return domains
+        if isinstance(node, L.Union):
+            names = node.output_columns()
+            domains = {}
+            for position, name in enumerate(names):
+                seen = set()
+                for branch in node.inputs:
+                    branch_name = branch.output_columns()[position]
+                    seen.add(
+                        self.domains[id(branch)].get(branch_name, UNKNOWN)
+                    )
+                seen.discard(UNKNOWN)
+                if len(seen) == 1:
+                    domains[name] = seen.pop()
+                elif seen <= ENTITY_DOMAINS and seen:
+                    # Mixed subject/object branches: still entity-coded.
+                    domains[name] = OBJECT
+                else:
+                    domains[name] = UNKNOWN
+            return domains
+        children = node.children()
+        return dict(self.domains[id(children[0])]) if children else {}
+
+    # ------------------------------------------------------------------
+    # top-down: consumed columns (mirrors the executors' pruning)
+    # ------------------------------------------------------------------
+
+    def _consume(self, node, needed):
+        mine = self.consumed.setdefault(id(node), set())
+        mine |= set(needed) & set(node.output_columns())
+        if isinstance(node, L.Scan):
+            return
+        if isinstance(node, L.Select):
+            child_needed = set(needed)
+            for p in node.predicates:
+                if isinstance(p, ColumnComparison):
+                    child_needed.update(p.columns())
+                else:
+                    child_needed.add(p.column)
+            self._consume(node.child, child_needed)
+        elif isinstance(node, L.Project):
+            kept = [(o, i) for o, i in node.mapping if o in needed]
+            if not kept:
+                kept = node.mapping[:1]
+            self._consume(node.child, {i for _, i in kept})
+        elif isinstance(node, L.Join):
+            left_cols = set(node.left.output_columns())
+            right_cols = set(node.right.output_columns())
+            self._consume(
+                node.left, (needed & left_cols) | {l for l, _ in node.on}
+            )
+            self._consume(
+                node.right, (needed & right_cols) | {r for _, r in node.on}
+            )
+        elif isinstance(node, L.GroupBy):
+            child_needed = set(node.keys) | {
+                src for _, src, _ in node.aggregates
+            }
+            if not child_needed:
+                # A bare count(*) pulls one arbitrary column, like the
+                # executors do; nothing is semantically consumed.
+                child_needed = set(node.child.output_columns()[:1])
+            self._consume(node.child, child_needed)
+        elif isinstance(node, L.Having):
+            self._consume(node.child, set(needed) | {node.predicate.column})
+        elif isinstance(node, L.Union):
+            names = node.output_columns()
+            keep = [i for i, name in enumerate(names) if name in needed]
+            if not keep:
+                keep = [0]
+            for branch in node.inputs:
+                branch_names = branch.output_columns()
+                self._consume(branch, {branch_names[i] for i in keep})
+        elif isinstance(node, L.Distinct):
+            # Duplicate elimination compares whole rows: every column counts.
+            self._consume(node.child, set(node.child.output_columns()))
+        elif isinstance(node, L.Extend):
+            child_needed = set(needed) - {node.column}
+            if not child_needed:
+                child_needed = set(node.child.output_columns()[:1])
+            self._consume(node.child, child_needed)
+        elif isinstance(node, L.Sort):
+            self._consume(
+                node.child, set(needed) | {c for c, _ in node.keys}
+            )
+        elif isinstance(node, L.Limit):
+            self._consume(node.child, set(needed))
+        else:  # future operators: assume everything is consumed
+            for child in node.children():
+                self._consume(child, set(child.output_columns()))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def path(self, node):
+        return self.paths[id(node)]
+
+    def constants_of(self, node):
+        return self.constants[id(node)]
+
+    def domain(self, node, column):
+        return self.domains[id(node)].get(column, UNKNOWN)
+
+    def consumed_of(self, node):
+        return self.consumed.get(id(node), set())
+
+    def parent(self, node):
+        return self.parents.get(id(node))
+
+    def nodes(self):
+        """Every node, pre-order."""
+        return L.walk(self.plan)

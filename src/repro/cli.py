@@ -10,6 +10,9 @@
     python -m repro bench --list
     python -m repro profile q2 --engine column --mode cold
     python -m repro -v verify --triples 20000
+    python -m repro analyze q5 --scheme triple
+    python -m repro analyze all --strict
+    python -m repro lint --baseline lint-baseline.json
 """
 
 import argparse
@@ -133,6 +136,59 @@ def build_parser():
     verify.add_argument("--properties", type=int, default=60)
     verify.add_argument("--seed", type=int, default=42)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically lint a query plan without executing it",
+    )
+    analyze.add_argument(
+        "query",
+        help="benchmark query name (q1..q8, q2*..q6*, or 'all'), SPARQL, "
+             "or SQL",
+    )
+    analyze.add_argument("--data", help="N-Triples file (default: generate)")
+    analyze.add_argument("--triples", type=int, default=20_000)
+    analyze.add_argument("--properties", type=int, default=60)
+    analyze.add_argument("--seed", type=int, default=42)
+    analyze.add_argument(
+        "--engine", choices=("column", "row"), default="column"
+    )
+    analyze.add_argument(
+        "--scheme", choices=("vertical", "triple"), default="vertical"
+    )
+    analyze.add_argument("--clustering", default="PSO")
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on ANY diagnostic, informational notes "
+             "included (default: only warnings and errors fail)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit diagnostics as a JSON document",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant checker over the codebase",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: the installed "
+             "repro package)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="ratchet file of known violations (default: "
+             "lint-baseline.json next to the source tree, if present)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file to the current violation set",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit violations as a JSON document",
+    )
+
     return parser
 
 
@@ -145,6 +201,8 @@ def main(argv=None):
         "bench": _command_bench,
         "profile": _command_profile,
         "verify": _command_verify,
+        "analyze": _command_analyze,
+        "lint": _command_lint,
     }[args.command]
     return handler(args)
 
@@ -300,43 +358,175 @@ def _bench_dataset(args):
     return cached_dataset(n_triples=args.triples, seed=args.seed)
 
 
-def _command_profile(args):
+def _store_from_args(args):
+    """An RDFStore for the profile/analyze subcommands: load --data if
+    given, otherwise generate a deterministic Barton-like dataset."""
     from repro.core import RDFStore
 
     if args.data:
         with open(args.data) as handle:
             text = handle.read()
         log.debug("loading %s", args.data)
-        store = RDFStore.from_ntriples(
+        return RDFStore.from_ntriples(
             text,
             engine=args.engine,
             scheme=args.scheme,
             clustering=args.clustering,
         )
-    else:
-        from repro.data import generate_barton
+    from repro.data import generate_barton
 
-        log.debug(
-            "generating %d triples (seed %d)", args.triples, args.seed
-        )
-        dataset = generate_barton(
-            n_triples=args.triples,
-            n_properties=args.properties,
-            n_interesting=min(28, args.properties),
-            seed=args.seed,
-        )
-        store = RDFStore.from_triples(
-            dataset.triples,
-            engine=args.engine,
-            scheme=args.scheme,
-            clustering=args.clustering,
-        )
+    log.debug("generating %d triples (seed %d)", args.triples, args.seed)
+    dataset = generate_barton(
+        n_triples=args.triples,
+        n_properties=args.properties,
+        n_interesting=min(28, args.properties),
+        seed=args.seed,
+    )
+    return RDFStore.from_triples(
+        dataset.triples,
+        engine=args.engine,
+        scheme=args.scheme,
+        clustering=args.clustering,
+    )
+
+
+def _command_profile(args):
+    store = _store_from_args(args)
     profile = store.profile(args.query, mode=args.mode)
     if args.json:
         print(profile.to_json())
     else:
         print(profile.render(with_metrics=args.metrics))
     return 0
+
+
+def _command_analyze(args):
+    import json
+
+    from repro.analysis import WARNING, plan_lint, worst
+    from repro.queries import ALL_QUERY_NAMES
+
+    # The analyzer reports findings itself; suppress the frontends' own
+    # warn-mode logging so nothing is reported twice.
+    previous_mode = plan_lint._lint_mode
+    plan_lint.set_lint_mode("off")
+    try:
+        store = _store_from_args(args)
+
+        queries = (
+            list(ALL_QUERY_NAMES) if args.query == "all" else [args.query]
+        )
+        report = {}
+        failing = 0
+        for query in queries:
+            diagnostics = store.analyze(query)
+            report[query] = diagnostics
+            failing += len(
+                diagnostics if args.strict
+                else worst(diagnostics, at_least=WARNING)
+            )
+    finally:
+        plan_lint._lint_mode = previous_mode
+
+    if args.json:
+        print(json.dumps(
+            {
+                query: [d.to_dict() for d in diagnostics]
+                for query, diagnostics in report.items()
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for query, diagnostics in report.items():
+            if not diagnostics:
+                print(f"{query}: clean")
+                continue
+            print(f"{query}: {len(diagnostics)} finding(s)")
+            for d in diagnostics:
+                print(f"  {d.render()}")
+        threshold = "any severity" if args.strict else "warning+"
+        print(
+            f"analyzed {len(queries)} quer{'y' if len(queries) == 1 else 'ies'}: "
+            f"{failing} finding(s) at {threshold}"
+        )
+    return 1 if failing else 0
+
+
+def _command_lint(args):
+    import json
+    import os
+
+    from repro.analysis import (
+        apply_baseline,
+        lint_package,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    violations = (
+        lint_paths(args.paths) if args.paths else lint_package()
+    )
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = _default_baseline_path()
+    if args.update_baseline:
+        target = baseline_path or "lint-baseline.json"
+        write_baseline(target, violations)
+        log.info("wrote %d violation(s) to %s", len(violations), target)
+        return 0
+
+    baseline = (
+        load_baseline(baseline_path)
+        if baseline_path and os.path.exists(baseline_path)
+        else None
+    )
+    new, suppressed, stale = apply_baseline(violations, baseline)
+
+    if args.json:
+        print(json.dumps(
+            {
+                "violations": [v.to_dict() for v in new],
+                "suppressed": suppressed,
+                "stale": sorted(stale),
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for v in new:
+            print(v.render())
+        summary = f"{len(new)} new violation(s)"
+        if suppressed:
+            summary += f", {suppressed} suppressed by baseline"
+        if stale:
+            summary += (
+                f"; {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} "
+                "(ratchet down with --update-baseline)"
+            )
+        print(summary)
+    return 1 if new else 0
+
+
+def _default_baseline_path():
+    """lint-baseline.json in the working directory, else beside the
+    source tree (repo root when running from a checkout)."""
+    import os
+
+    import repro
+
+    candidates = [
+        "lint-baseline.json",
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__))),
+            "lint-baseline.json",
+        ),
+    ]
+    for candidate in candidates:
+        if os.path.exists(candidate):
+            return candidate
+    return None
 
 
 def _command_verify(args):

@@ -230,6 +230,18 @@ class RDFStore:
         plan = self._plan_for(query, scope=scope)
         return profile_plan(self.engine, plan, mode=mode, query=query)
 
+    def analyze(self, query, scope=None):
+        """Run the static plan linter over *query* without executing it.
+
+        *query* is a benchmark query name (``q1``..``q8``, ``q2*``..),
+        SPARQL text (anything containing ``{``), or SQL text.  Returns the
+        list of :class:`~repro.analysis.Diagnostic` findings, most severe
+        first (empty = clean).
+        """
+        from repro.analysis import lint_plan
+
+        return list(lint_plan(self._plan_for(query, scope=scope)))
+
     def _plan_for(self, query, scope=None):
         if query in ALL_QUERY_NAMES:
             return build_query(self.catalog, query, scope=scope)

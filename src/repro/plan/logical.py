@@ -1,19 +1,65 @@
 """Logical plan nodes.
 
-Plans are immutable trees.  Column naming discipline: a :class:`Scan` with
-alias ``A`` over a table with columns ``subj, prop, obj`` emits columns
-``A.subj, A.prop, A.obj``; joins concatenate the (disjoint) column sets of
-their inputs; :class:`Project` renames/narrows.  Every node can report its
-output column names, which lets plans be validated once at construction
-time instead of failing deep inside an engine.
+Plans are immutable trees — and this module *enforces* it: every node is
+sealed when its constructor returns, so later attribute assignment raises
+:class:`PlanError` (the optimizer, the profiler and the engines share node
+objects freely, which is only sound because nothing can mutate them; see
+also the ``plan-mutation`` rule of ``repro lint``).  Column naming
+discipline: a :class:`Scan` with alias ``A`` over a table with columns
+``subj, prop, obj`` emits columns ``A.subj, A.prop, A.obj``; joins
+concatenate the (disjoint) column sets of their inputs; :class:`Project`
+renames/narrows.  Every node can report its output column names, which
+lets plans be validated once at construction time instead of failing deep
+inside an engine.
 """
+
+import functools
 
 from repro.errors import PlanError
 from repro.plan.predicates import ColumnComparison, Comparison
 
 
 class LogicalPlan:
-    """Base class; subclasses are the algebra operators."""
+    """Base class; subclasses are the algebra operators.
+
+    Instances freeze when construction completes: ``__init_subclass__``
+    wraps each subclass ``__init__`` to seal the node, and ``__setattr__``
+    rejects writes to sealed nodes.  Rewrites build new nodes (see
+    ``repro.plan.optimizer._clone_with_children``).
+    """
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        init = cls.__dict__.get("__init__")
+        if init is None or getattr(init, "_seals_plan_node", False):
+            return
+
+        @functools.wraps(init)
+        def sealing_init(self, *args, **kw):
+            init(self, *args, **kw)
+            # Only the outermost constructor seals, so a subclass __init__
+            # chaining through super().__init__() still works.
+            if type(self).__init__ is sealing_init:
+                object.__setattr__(self, "_sealed", True)
+
+        sealing_init._seals_plan_node = True
+        cls.__init__ = sealing_init
+
+    def __setattr__(self, name, value):
+        if getattr(self, "_sealed", False):
+            raise PlanError(
+                f"{type(self).__name__} is immutable after construction; "
+                f"cannot set {name!r} — build a new node instead"
+            )
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name):
+        if getattr(self, "_sealed", False):
+            raise PlanError(
+                f"{type(self).__name__} is immutable after construction; "
+                f"cannot delete {name!r}"
+            )
+        object.__delattr__(self, name)
 
     def output_columns(self):
         raise NotImplementedError
@@ -130,8 +176,9 @@ class Join(LogicalPlan):
         overlap = set(left.output_columns()) & set(right.output_columns())
         if overlap:
             raise PlanError(
-                f"join inputs share column names {sorted(overlap)}; "
-                "use scan aliases"
+                "Join inputs must emit disjoint column names "
+                f"(plan invariant): {left!r} and {right!r} both emit "
+                f"{sorted(overlap)}; use scan aliases or Project renames"
             )
 
     def children(self):

@@ -51,9 +51,19 @@ def _unique(array):
 
 
 def optimize_joins(plan, stats_provider):
-    """Rewrite every maximal join tree in *plan* into a greedy order."""
+    """Rewrite every maximal join tree in *plan* into a greedy order.
+
+    The rewrite must be result-equivalent *and* lint-equivalent: the
+    output plan is asserted to carry no more warning-or-worse static
+    diagnostics than the input (``repro.analysis``), so join reordering
+    can never introduce a cartesian product or a domain-mismatched key.
+    """
+    from repro.analysis import plan_lint
+
     estimator = Estimator(stats_provider)
-    return _rewrite(plan, estimator)
+    optimized = _rewrite(plan, estimator)
+    plan_lint.assert_no_regression(plan, optimized, where="optimize_joins")
+    return optimized
 
 
 def annotate_cardinalities(plan, stats_provider):

@@ -29,12 +29,16 @@ from repro.plan import (
 from repro.queries.definitions import CONSTANTS, parse_query_name
 
 
-def build_query(catalog, name, scope=None):
+def build_query(catalog, name, scope=None, lint=None):
     """Build the logical plan for benchmark query *name* over *catalog*.
 
     *scope* overrides the property scope ("interesting", "all", or an
     explicit property-name list) — used by the Figure 6 sweep, which varies
     the number of properties considered by q2/q3/q4/q6.
+
+    Every built plan runs through the static plan linter
+    (:mod:`repro.analysis`); *lint* overrides the session lint mode for
+    this call (``"off"`` / ``"warn"`` / ``"strict"``).
     """
     base, full_scale = parse_query_name(name)
     if scope is None:
@@ -49,7 +53,12 @@ def build_query(catalog, name, scope=None):
         builder = PropertyTablePlans(catalog)
     else:
         raise PlanError(f"unknown storage scheme {catalog.scheme!r}")
-    return getattr(builder, base)(scope)
+    plan = getattr(builder, base)(scope)
+
+    from repro.analysis import plan_lint
+
+    plan_lint.check_plan(plan, where=f"query:{name}", mode=lint)
+    return plan
 
 
 class _Plans:

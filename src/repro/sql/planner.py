@@ -32,15 +32,25 @@ from repro.sql import ast
 from repro.sql.parser import parse_sql
 
 
-def plan_sql(sql_or_ast, catalog, schema=None):
-    """Plan SQL text (or a parsed AST) against *catalog*."""
+def plan_sql(sql_or_ast, catalog, schema=None, lint=None):
+    """Plan SQL text (or a parsed AST) against *catalog*.
+
+    The resulting plan runs through the static plan linter
+    (:mod:`repro.analysis`): *lint* overrides the session lint mode for
+    this call (``"off"``, ``"warn"`` — log warnings, the default — or
+    ``"strict"`` — raise :class:`~repro.errors.PlanError` on warnings).
+    """
+    from repro.analysis import plan_lint
+
     if isinstance(sql_or_ast, str):
         statement = parse_sql(sql_or_ast)
     else:
         statement = sql_or_ast
     if schema is None:
         schema = default_schema(catalog)
-    return _Planner(catalog, schema).plan(statement)
+    plan = _Planner(catalog, schema).plan(statement)
+    plan_lint.check_plan(plan, where="sql", mode=lint)
+    return plan
 
 
 def default_schema(catalog):

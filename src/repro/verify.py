@@ -13,6 +13,7 @@ answers agree.
 
 from dataclasses import dataclass, field
 
+from repro.analysis import lint_plan
 from repro.colstore import ColumnStoreEngine
 from repro.cstore import CSTORE_QUERIES, CStoreEngine
 from repro.observe.log import get_logger
@@ -35,10 +36,21 @@ class VerificationResult:
     queries: list
     mismatches: list = field(default_factory=list)  # (config, query, detail)
     checks: int = 0
+    # static-analysis findings: (config, query, Diagnostic)
+    diagnostics: list = field(default_factory=list)
 
     @property
     def ok(self):
         return not self.mismatches
+
+    @property
+    def lint_clean(self):
+        """True when no plan in the sweep drew a warning+ diagnostic."""
+        from repro.analysis import WARNING, worst
+
+        return not worst(
+            [d for _, _, d in self.diagnostics], at_least=WARNING
+        )
 
     def render(self):
         lines = [
@@ -53,6 +65,24 @@ class VerificationResult:
             lines.append(f"{len(self.mismatches)} MISMATCHES:")
             for config, query, detail in self.mismatches:
                 lines.append(f"  {config} {query}: {detail}")
+        from repro.analysis import WARNING, worst
+
+        flagged = worst(
+            [d for _, _, d in self.diagnostics], at_least=WARNING
+        )
+        if flagged:
+            lines.append(f"{len(flagged)} plans drew lint warnings:")
+            for config, query, d in self.diagnostics:
+                if d in flagged:
+                    lines.append(
+                        f"  {config} {query}: [{d.severity}] {d.rule} "
+                        f"at {d.path}: {d.message}"
+                    )
+        else:
+            lines.append(
+                "all plans lint clean "
+                f"({len(self.diagnostics)} informational notes)"
+            )
         return "\n".join(lines)
 
 
@@ -99,6 +129,8 @@ def verify_dataset(dataset, queries=ALL_QUERY_NAMES, include_cstore=True):
         for query in queries:
             log.debug("checking %s %s", label, query)
             plan = build_query(catalog, query)
+            for diagnostic in lint_plan(plan):
+                result.diagnostics.append((label, query, diagnostic))
             relation = engine.execute(plan)
             got = sorted(
                 relation.decoded_tuples(
