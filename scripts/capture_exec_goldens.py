@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Capture the exec-parity golden document.
+
+Runs the full engine x scheme x query sweep through the current execution
+path and writes ``tests/data/exec_parity_goldens.json``.  The committed
+goldens were captured from the legacy per-engine executors immediately
+before the unified execution layer replaced them; re-run this script only
+when an intentional cost-model change invalidates them (and say so in the
+commit that regenerates the file).
+
+Usage::
+
+    PYTHONPATH=src python scripts/capture_exec_goldens.py [output.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.exec.parity import parity_sweep
+
+
+def main(argv):
+    default = (
+        Path(__file__).resolve().parent.parent
+        / "tests" / "data" / "exec_parity_goldens.json"
+    )
+    out = Path(argv[1]) if len(argv) > 1 else default
+    document = parity_sweep()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    n_entries = sum(
+        len(queries) for queries in document["cells"].values()
+    )
+    print(f"wrote {out} ({len(document['cells'])} cells, "
+          f"{n_entries} query entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

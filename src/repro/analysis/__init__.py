@@ -34,9 +34,11 @@ from repro.analysis.diagnostics import (
     worst,
 )
 from repro.analysis.plan_lint import (
+    PHYSICAL_RULES,
     PLAN_RULES,
     check_plan,
     lint_mode,
+    lint_physical_plan,
     lint_plan,
     set_lint_mode,
 )
@@ -63,8 +65,10 @@ __all__ = [
     "max_severity",
     "worst",
     "PLAN_RULES",
+    "PHYSICAL_RULES",
     "CODE_RULES",
     "lint_plan",
+    "lint_physical_plan",
     "check_plan",
     "lint_mode",
     "set_lint_mode",

@@ -5,8 +5,9 @@ guarantees the reproduction depends on:
 
 * ``wall-clock-in-engine`` — the engines report *simulated* time; a
   ``time.time()`` / ``perf_counter()`` reachable from a simulated-cost
-  path (``repro/engine/``, ``repro/cstore/``, ``repro/colstore/``,
-  ``repro/rowstore/``) silently contaminates Tables 6/7.
+  path (``repro/engine/``, ``repro/exec/``, ``repro/cstore/``,
+  ``repro/colstore/``, ``repro/rowstore/``) silently contaminates
+  Tables 6/7.
 * ``unseeded-random-in-engine`` — same paths: module-global ``random.*``
   or legacy ``numpy.random.*`` calls break run-to-run determinism; only
   explicitly seeded generators (``random.Random(seed)``,
@@ -50,6 +51,7 @@ CODE_RULES = {
 #: Package-relative path prefixes whose costs are simulated.
 SIMULATED_COST_PREFIXES = (
     "repro/engine/",
+    "repro/exec/",
     "repro/cstore/",
     "repro/colstore/",
     "repro/rowstore/",

@@ -59,10 +59,23 @@ log = get_logger("analysis")
 #: purely the catalog.
 PLAN_RULES = {}
 
+#: Physical-plan rules: run over a lowered
+#: :class:`~repro.exec.physical.PhysicalPlan` tree (with the logical
+#: root's :class:`PlanFacts` available for paths and provenance).
+PHYSICAL_RULES = {}
+
 
 def plan_rule(rule_id, description):
     def register(fn):
         PLAN_RULES[rule_id] = (fn, description)
+        return fn
+
+    return register
+
+
+def physical_rule(rule_id, description):
+    def register(fn):
+        PHYSICAL_RULES[rule_id] = (fn, description)
         return fn
 
     return register
@@ -84,6 +97,44 @@ def lint_plan(plan, rules=None):
             key = (
                 diagnostic.rule, diagnostic.path, diagnostic.message
             )
+            if key not in seen:
+                seen.add(key)
+                findings.append(diagnostic)
+    return sort_diagnostics(findings)
+
+
+def lint_physical_plan(physical, rules=None):
+    """Lint a lowered physical tree; returns diagnostics most-severe first.
+
+    Runs the logical rule registry over the bound logical root (the same
+    :class:`PlanFacts` the logical linter uses — lowering never changes
+    what the plan computes, so every logical finding still applies) plus
+    the physical registry over the operator tree itself.  *rules*
+    optionally restricts to an iterable of rule ids from either registry.
+    """
+    facts = PlanFacts(physical.logical)
+    if rules is None:
+        logical_rules, physical_rules = PLAN_RULES, PHYSICAL_RULES
+    else:
+        logical_rules = {
+            rule_id: PLAN_RULES[rule_id]
+            for rule_id in rules if rule_id in PLAN_RULES
+        }
+        physical_rules = {
+            rule_id: PHYSICAL_RULES[rule_id]
+            for rule_id in rules if rule_id in PHYSICAL_RULES
+        }
+    findings = []
+    seen = set()
+    for fn, _description in logical_rules.values():
+        for diagnostic in fn(facts):
+            key = (diagnostic.rule, diagnostic.path, diagnostic.message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(diagnostic)
+    for fn, _description in physical_rules.values():
+        for diagnostic in fn(physical, facts):
+            key = (diagnostic.rule, diagnostic.path, diagnostic.message)
             if key not in seen:
                 seen.add(key)
                 findings.append(diagnostic)
@@ -482,6 +533,45 @@ def _rule_pushdown_select(facts):
                     "it below the join shrinks the join input"
                 ),
                 hint=f"apply the selection to the join's {side} input",
+            )
+
+
+@physical_rule(
+    "wrong-engine-operator",
+    "a physical operator bound from another engine's registry",
+)
+def _rule_wrong_engine_operator(physical, facts):
+    from repro.exec.physical import walk_physical
+
+    root_engine = physical.engine
+    for pnode in walk_physical(physical):
+        bound_to = pnode.op.engine
+        if bound_to != pnode.engine:
+            yield Diagnostic(
+                rule="wrong-engine-operator",
+                severity=ERROR,
+                path=facts.path(pnode.logical) or "$",
+                node=repr(pnode),
+                message=(
+                    f"operator {pnode.name!r} is registered for engine "
+                    f"{bound_to!r} but the node was lowered for "
+                    f"{pnode.engine!r}; its cost charges follow the wrong "
+                    "cost model"
+                ),
+                hint="register the operator in the executing engine's "
+                     "EngineOperatorSet",
+            )
+        elif pnode.engine != root_engine:
+            yield Diagnostic(
+                rule="wrong-engine-operator",
+                severity=ERROR,
+                path=facts.path(pnode.logical) or "$",
+                node=repr(pnode),
+                message=(
+                    f"physical tree mixes engines: node is lowered for "
+                    f"{pnode.engine!r} inside a {root_engine!r} plan"
+                ),
+                hint="lower the whole plan through one engine's registry",
             )
 
 

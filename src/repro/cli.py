@@ -162,6 +162,11 @@ def build_parser():
              "included (default: only warnings and errors fail)",
     )
     analyze.add_argument(
+        "--physical", action="store_true",
+        help="lower the plan through the selected engine's operator "
+             "registry and run the physical rule set too",
+    )
+    analyze.add_argument(
         "--json", action="store_true",
         help="emit diagnostics as a JSON document",
     )
@@ -419,7 +424,7 @@ def _command_analyze(args):
         report = {}
         failing = 0
         for query in queries:
-            diagnostics = store.analyze(query)
+            diagnostics = store.analyze(query, physical=args.physical)
             report[query] = diagnostics
             failing += len(
                 diagnostics if args.strict

@@ -1,7 +1,7 @@
 """The column-store engine facade."""
 
-from repro.colstore.executor import ColumnExecutor
 from repro.colstore.table import ColumnTable
+from repro.exec.runtime import Runtime
 from repro.engine import (
     COLUMN_STORE_COSTS,
     MACHINE_A,
@@ -52,7 +52,15 @@ class ColumnStoreEngine:
             observe=self.observe,
         )
         self._tables = {}
-        self._executor = ColumnExecutor(self)
+        self._executor = Runtime(self)
+
+    def executor(self):
+        """The engine's execution runtime (unified layer)."""
+        return self._executor
+
+    def lower(self, plan):
+        """Physical plan for *plan* under this engine's operator set."""
+        return self._executor.lower(plan)
 
     def install_observation(self, observe):
         """Install (or, with ``None``, remove) an Observation bundle.

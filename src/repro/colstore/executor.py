@@ -1,553 +1,16 @@
-"""Column-at-a-time physical executor.
+"""Compatibility shim for the legacy column executor entry points.
 
-Executes logical plans over :class:`~repro.colstore.table.ColumnTable`
-objects.  Physical work is vectorized numpy; every operator charges the
-query clock its cost-model CPU price, and every base-table access goes
-through the buffer pool so I/O is accounted per column and per byte range.
-
-The executor understands two locality mechanisms that drive the paper's
-results:
-
-* **Sorted-prefix selection** — equality predicates on the leading sort
-  columns of a table become binary searches; only the qualifying slice of
-  the remaining columns is read (why a PSO-sorted triples table reads a
-  property's range instead of the whole table, and why the SO-sorted
-  vertically-partitioned tables are cheap).
-* **Positional fetches** — selections that do not follow the sort order
-  fetch matching rows by page, so a scattered 25% selectivity ends up
-  touching every page (why SPO clustering is slow for property-bound
-  queries).
+The column-at-a-time interpretation loop that used to live here moved
+into the unified execution layer: the operator bodies are registered in
+:mod:`repro.colstore.operators` and driven by
+:class:`repro.exec.runtime.Runtime`.  ``ColumnExecutor`` is now an alias
+of the shared runtime (same ``execute(plan)`` surface, constructed with
+the engine), kept so existing imports and ``engine._executor`` users keep
+working.
 """
 
-import math
+from repro.colstore.operators import VALUE_BYTES
+from repro.exec.runtime import Intermediate as _Intermediate
+from repro.exec.runtime import Runtime as ColumnExecutor
 
-import numpy as np
-
-from repro.errors import EngineError
-from repro.plan import logical as L
-from repro.plan.predicates import is_column_comparison
-from repro.relation import Relation
-from repro.colstore import vectorops as V
-
-VALUE_BYTES = 8
-
-
-class _Intermediate:
-    """A relation in flight plus the sort order it is known to satisfy."""
-
-    __slots__ = ("relation", "sorted_by")
-
-    def __init__(self, relation, sorted_by=()):
-        self.relation = relation
-        self.sorted_by = tuple(sorted_by)
-
-
-class ColumnExecutor:
-    def __init__(self, engine):
-        self.engine = engine
-        self.costs = engine.costs
-        self.clock = engine.clock
-        self.pool = engine.pool
-
-    # ------------------------------------------------------------------
-    # entry point
-    # ------------------------------------------------------------------
-
-    def execute(self, plan):
-        result = self._execute(plan, set(plan.output_columns()))
-        return result.relation
-
-    # ------------------------------------------------------------------
-    # dispatch
-    # ------------------------------------------------------------------
-
-    def _execute(self, node, needed):
-        """Dispatch *node*, attributing its work to a trace span when an
-        Observation is installed (children subtract themselves)."""
-        observe = self.engine.observe
-        if not observe.enabled:
-            return self._dispatch(node, needed)
-        tracer = observe.tracer
-        tracer.enter(node)
-        try:
-            result = self._dispatch(node, needed)
-        finally:
-            tracer.exit(node)
-        tracer.set_rows(node, result.relation.n_rows)
-        return result
-
-    def _traced_scan_select(self, scan, predicates, needed):
-        """A fused selection's scan still gets its own span; its reported
-        rows are post-selection (the selection runs inside the scan)."""
-        observe = self.engine.observe
-        if not observe.enabled:
-            return self._scan_select(scan, predicates, needed)
-        tracer = observe.tracer
-        tracer.enter(scan)
-        try:
-            result = self._scan_select(scan, predicates, needed)
-        finally:
-            tracer.exit(scan)
-        tracer.set_rows(scan, result.relation.n_rows)
-        return result
-
-    def _dispatch(self, node, needed):
-        if isinstance(node, L.Select) and isinstance(node.child, L.Scan):
-            simple = [
-                p for p in node.predicates if not is_column_comparison(p)
-            ]
-            cross = [p for p in node.predicates if is_column_comparison(p)]
-            if not cross:
-                return self._traced_scan_select(node.child, simple, needed)
-            inner_needed = set(needed) | {
-                c for p in cross for c in p.columns()
-            }
-            result = self._traced_scan_select(node.child, simple, inner_needed)
-            return self._apply_cross(result, cross)
-        if isinstance(node, L.Scan):
-            return self._scan_select(node, [], needed)
-        if isinstance(node, L.Select):
-            return self._select(node, needed)
-        if isinstance(node, L.Project):
-            return self._project(node, needed)
-        if isinstance(node, L.Join):
-            return self._join(node, needed)
-        if isinstance(node, L.GroupBy):
-            return self._group_by(node)
-        if isinstance(node, L.Having):
-            return self._having(node)
-        if isinstance(node, L.Union):
-            return self._union(node, needed)
-        if isinstance(node, L.Distinct):
-            return self._distinct(node)
-        if isinstance(node, L.Extend):
-            return self._extend(node, needed)
-        if isinstance(node, L.Sort):
-            return self._sort(node, needed)
-        if isinstance(node, L.Limit):
-            return self._limit(node, needed)
-        raise EngineError(f"column store cannot execute {type(node).__name__}")
-
-    # ------------------------------------------------------------------
-    # scans with fused selection
-    # ------------------------------------------------------------------
-
-    def _scan_select(self, scan, predicates, needed):
-        table = self.engine.table(scan.table)
-        # Map qualified plan columns back to base column names.
-        base_needed = []
-        for col in scan.output_columns():
-            if col in needed:
-                base_needed.append(self._base_column(scan, col))
-        by_base = {}
-        for pred in predicates:
-            by_base.setdefault(self._base_column(scan, pred.column), []).append(pred)
-
-        lo, hi = 0, table.n_rows
-        consumed = set()
-        # Binary-searchable prefix: equality predicates following sort order.
-        for sort_col in table.sort_order:
-            preds = by_base.get(sort_col, [])
-            eq = next((p for p in preds if p.is_equality()), None)
-            if eq is None:
-                break
-            lo, hi = self._binary_search(table, sort_col, eq.value, lo, hi)
-            consumed.add(id(eq))
-            if lo >= hi:
-                break
-
-        positions = None  # None means the dense range [lo, hi)
-        count = hi - lo
-        # Remaining predicates: evaluate column-at-a-time over candidates.
-        for base_col, preds in by_base.items():
-            for pred in preds:
-                if id(pred) in consumed or count == 0:
-                    continue
-                values = self._fetch(table, base_col, lo, hi, positions)
-                self.clock.charge_cpu(self.costs.select_tuple * max(count, 1))
-                mask = pred.mask(values)
-                if positions is None:
-                    positions = lo + np.nonzero(mask)[0]
-                else:
-                    positions = positions[mask]
-                count = len(positions)
-
-        columns = {}
-        for base_col in base_needed:
-            if count == 0:
-                columns[scan.qualified(base_col)] = np.empty(0, dtype=np.int64)
-                continue
-            values = self._fetch(table, base_col, lo, hi, positions)
-            self.clock.charge_cpu(self.costs.scan_tuple * count)
-            columns[scan.qualified(base_col)] = values
-        if not columns:
-            # Parent only needs the row count (e.g. a bare count(*)).
-            columns["__rowid__"] = np.arange(count, dtype=np.int64)
-        relation = Relation(columns, oid_columns=set(columns) - {"__rowid__"})
-        sorted_by = self._scan_sortedness(scan, table, positions)
-        return _Intermediate(relation, sorted_by)
-
-    def _scan_sortedness(self, scan, table, positions):
-        # A dense range of a sorted table stays sorted; positional filtering
-        # preserves order too (masks keep row order).
-        return tuple(scan.qualified(c) for c in table.sort_order)
-
-    def _base_column(self, scan, qualified):
-        if scan.alias and qualified.startswith(scan.alias + "."):
-            return qualified[len(scan.alias) + 1 :]
-        return qualified
-
-    def _binary_search(self, table, column, value, lo, hi):
-        """Range of *value* in the sorted column; charges probe I/O + CPU."""
-        if lo >= hi:
-            return lo, lo
-        array = table.array(column)
-        if value is None:
-            return lo, lo
-        self.clock.charge_cpu(
-            self.costs.select_tuple * (2 * math.log2(max(hi - lo, 2)))
-        )
-        segment = table.segment(column)
-        self.pool.read_pages(segment, self._probe_pages(segment, lo, hi))
-        new_lo = int(np.searchsorted(array[lo:hi], value, side="left")) + lo
-        new_hi = int(np.searchsorted(array[lo:hi], value, side="right")) + lo
-        return new_lo, new_hi
-
-    def _probe_pages(self, segment, lo, hi):
-        """Deterministic bisection probe pages within the row range."""
-        pages = set()
-        a, b = lo, hi
-        for _ in range(64):
-            if a >= b:
-                break
-            mid = (a + b) // 2
-            pages.add(mid * VALUE_BYTES // segment.page_size)
-            b = mid  # descend left; the exact path doesn't matter for cost
-            if b - a <= segment.page_size // VALUE_BYTES:
-                break
-        return sorted(pages)
-
-    def _fetch(self, table, column, lo, hi, positions):
-        """Read column values for the candidate rows, charging I/O."""
-        array = table.array(column)
-        segment = table.segment(column)
-        if positions is None:
-            self.pool.read(segment, lo * VALUE_BYTES, (hi - lo) * VALUE_BYTES)
-            return array[lo:hi]
-        if len(positions) == 0:
-            return np.empty(0, dtype=np.int64)
-        pages = np.unique(positions * VALUE_BYTES // segment.page_size)
-        self.pool.read_pages(segment, pages, scattered=True)
-        return array[positions]
-
-    # ------------------------------------------------------------------
-    # other operators
-    # ------------------------------------------------------------------
-
-    def _select(self, node, needed):
-        child_needed = set(needed)
-        for p in node.predicates:
-            if is_column_comparison(p):
-                child_needed.update(p.columns())
-            else:
-                child_needed.add(p.column)
-        child = self._execute(node.child, child_needed)
-        rel = child.relation
-        mask = np.ones(rel.n_rows, dtype=bool)
-        for pred in node.predicates:
-            self.clock.charge_cpu(self.costs.select_tuple * max(rel.n_rows, 1))
-            if is_column_comparison(pred):
-                mask &= pred.mask(rel.column(pred.left), rel.column(pred.right))
-            else:
-                mask &= pred.mask(rel.column(pred.column))
-        columns = {n: a[mask] for n, a in rel.columns.items()}
-        return _Intermediate(
-            Relation(columns, rel.oid_columns), child.sorted_by
-        )
-
-    def _apply_cross(self, intermediate, cross):
-        rel = intermediate.relation
-        mask = np.ones(rel.n_rows, dtype=bool)
-        for pred in cross:
-            self.clock.charge_cpu(self.costs.select_tuple * max(rel.n_rows, 1))
-            mask &= pred.mask(rel.column(pred.left), rel.column(pred.right))
-        columns = {n: a[mask] for n, a in rel.columns.items()}
-        return _Intermediate(
-            Relation(columns, rel.oid_columns), intermediate.sorted_by
-        )
-
-    def _project(self, node, needed):
-        mapping = [(o, i) for o, i in node.mapping if o in needed]
-        if not mapping:
-            mapping = node.mapping[:1]
-        child_needed = {i for _, i in mapping}
-        child = self._execute(node.child, child_needed)
-        rel = child.relation
-        columns = {o: rel.column(i) for o, i in mapping}
-        oid = {o for o, i in mapping if i in rel.oid_columns}
-        rename = dict((i, o) for o, i in mapping)
-        sorted_by = []
-        for col in child.sorted_by:
-            if col in rename:
-                sorted_by.append(rename[col])
-            else:
-                break
-        return _Intermediate(Relation(columns, oid), tuple(sorted_by))
-
-    def _join(self, node, needed):
-        left_cols = set(node.left.output_columns())
-        right_cols = set(node.right.output_columns())
-        left_needed = (needed & left_cols) | {l for l, _ in node.on}
-        right_needed = (needed & right_cols) | {r for _, r in node.on}
-        left = self._execute(node.left, left_needed)
-        right = self._execute(node.right, right_needed)
-        lrel, rrel = left.relation, right.relation
-
-        lkeys = [lrel.column(l) for l, _ in node.on]
-        rkeys = [rrel.column(r) for _, r in node.on]
-        right_sorted = False
-        if len(node.on) == 1:
-            lcodes, rcodes = lkeys[0], rkeys[0]
-            # The plan's sort-order metadata proves the right side sorted on
-            # the join key (e.g. an SO-sorted vertical table joined on
-            # subject), so join_indices can skip its argsort.
-            (_, rcol), = node.on
-            right_sorted = (
-                len(right.sorted_by) > 0 and right.sorted_by[0] == rcol
-            )
-        else:
-            lcodes, rcodes = V.factorize_rows_shared(lkeys, rkeys)
-
-        lidx, ridx = V.join_indices(lcodes, rcodes, assume_sorted=right_sorted)
-        n_left, n_right, n_out = lrel.n_rows, rrel.n_rows, len(lidx)
-
-        merge = self._merge_joinable(left, right, node.on)
-        if merge:
-            self.clock.charge_cpu(
-                self.costs.merge_step * (n_left + n_right + n_out)
-            )
-        else:
-            small, large = sorted((n_left, n_right))
-            self.clock.charge_cpu(
-                self.costs.hash_build * small
-                + self.costs.hash_probe * large
-                + self.costs.union_tuple * n_out
-            )
-
-        columns = {}
-        for name, arr in lrel.columns.items():
-            if name in needed or any(name == l for l, _ in node.on):
-                columns[name] = arr[lidx]
-        for name, arr in rrel.columns.items():
-            if name in needed or any(name == r for _, r in node.on):
-                columns[name] = arr[ridx]
-        oid = (lrel.oid_columns | rrel.oid_columns) & set(columns)
-        # join_indices keeps left order, so left sortedness survives.
-        return _Intermediate(Relation(columns, oid), left.sorted_by)
-
-    def _merge_joinable(self, left, right, on):
-        if len(on) != 1:
-            return False
-        (lcol, rcol), = on
-        return (
-            len(left.sorted_by) > 0
-            and left.sorted_by[0] == lcol
-            and len(right.sorted_by) > 0
-            and right.sorted_by[0] == rcol
-        )
-
-    def _group_by(self, node):
-        needed = set(node.keys) | {c for _, c, _ in node.aggregates}
-        child = self._execute(
-            node.child, needed or self._any_column(node.child)
-        )
-        rel = child.relation
-        charge = max(rel.n_rows, 1) * (1 + len(node.aggregates))
-        self.clock.charge_cpu(self.costs.group_tuple * charge)
-        if not node.keys:
-            columns = {node.count_column: np.array([rel.n_rows], dtype=np.int64)}
-            oid = set()
-            for func, input_column, output_name in node.aggregates:
-                values = rel.column(input_column)
-                reducer = {"min": np.min, "max": np.max}[func]
-                result = int(reducer(values)) if rel.n_rows else -1
-                columns[output_name] = np.array([result], dtype=np.int64)
-                if input_column in rel.oid_columns:
-                    oid.add(output_name)
-            return _Intermediate(Relation(columns, oid_columns=oid), ())
-        key_arrays = [rel.column(k) for k in node.keys]
-        keys, counts = V.group_count(key_arrays)
-        columns = dict(zip(node.keys, keys))
-        columns[node.count_column] = counts
-        oid = set(node.keys) & rel.oid_columns
-        for func, input_column, output_name in node.aggregates:
-            columns[output_name] = V.group_aggregate(
-                key_arrays, rel.column(input_column), func
-            )
-            if input_column in rel.oid_columns:
-                oid.add(output_name)
-        return _Intermediate(Relation(columns, oid), tuple(node.keys))
-
-    def _any_column(self, child):
-        return {child.output_columns()[0]}
-
-    def _having(self, node):
-        child = self._execute(node.child, set(node.output_columns()))
-        rel = child.relation
-        self.clock.charge_cpu(self.costs.select_tuple * max(rel.n_rows, 1))
-        mask = node.predicate.mask(rel.column(node.predicate.column))
-        columns = {n: a[mask] for n, a in rel.columns.items()}
-        return _Intermediate(Relation(columns, rel.oid_columns), child.sorted_by)
-
-    def _union(self, node, needed):
-        out_names = node.output_columns()
-        keep = [i for i, name in enumerate(out_names) if name in needed]
-        if not keep:
-            keep = [0]
-        parts = []
-        oid = set()
-        total_in = 0
-        for child in node.inputs:
-            fast = self._union_branch_fast(child, out_names, keep)
-            if fast is not None:
-                part, n_rows, part_oid = fast
-                total_in += n_rows
-                oid |= part_oid
-                parts.append(part)
-                continue
-            child_names = child.output_columns()
-            child_needed = {child_names[i] for i in keep}
-            result = self._execute(child, child_needed)
-            rel = result.relation
-            total_in += rel.n_rows
-            part = {}
-            for i in keep:
-                src = child_names[i]
-                part[out_names[i]] = rel.column(src)
-                if src in rel.oid_columns:
-                    oid.add(out_names[i])
-            parts.append(part)
-        columns = {
-            out_names[i]: np.concatenate([p[out_names[i]] for p in parts])
-            for i in keep
-        }
-        self.clock.charge_cpu(self.costs.union_tuple * max(total_in, 1))
-        rel = Relation(columns, oid)
-        if node.distinct:
-            self.clock.charge_cpu(self.costs.group_tuple * max(rel.n_rows, 1))
-            idx = V.distinct_rows([rel.column(n) for n in rel.columns])
-            rel = Relation(
-                {n: a[idx] for n, a in rel.columns.items()}, rel.oid_columns
-            )
-            return _Intermediate(rel, tuple(rel.columns))
-        return _Intermediate(rel, ())
-
-    def _union_branch_fast(self, child, out_names, keep):
-        """Evaluate a canonical union branch without generic dispatch.
-
-        The vertically-partitioned plans union hundreds of
-        ``Project(Extend?(Scan))`` branches (one per property table); the
-        generic operator machinery costs more wall-clock than the arrays.
-        This fused path performs the *same* buffer reads and clock charges
-        in the same order as the generic operators — simulated timings are
-        identical — and returns ``(columns, n_rows, oid_columns)``, or
-        ``None`` for any other branch shape.
-        """
-        if type(child) is not L.Project:
-            return None
-        mapping = child.mapping
-        inner = child.child
-        extend = None
-        if type(inner) is L.Extend:
-            extend = inner
-            inner = inner.child
-        if type(inner) is not L.Scan:
-            return None
-        scan = inner
-
-        # Reproduce the operators' "needed columns" propagation exactly —
-        # including _extend's quirk of requesting the scan's first column
-        # when nothing below the extended column is needed.
-        child_needed = {mapping[i][1] for i in keep}
-        if extend is not None:
-            scan_needed = child_needed - {extend.column}
-            if not scan_needed:
-                scan_needed = {scan.output_columns()[0]}
-        else:
-            scan_needed = child_needed
-
-        table = self.engine.table(scan.table)
-        count = table.n_rows
-        # Fetch in scan column order (the generic scan's charge order).
-        fetched = {}
-        for qualified in scan.output_columns():
-            if qualified not in scan_needed:
-                continue
-            if count == 0:
-                fetched[qualified] = np.empty(0, dtype=np.int64)
-                continue
-            base_col = self._base_column(scan, qualified)
-            fetched[qualified] = self._fetch(table, base_col, 0, count, None)
-            self.clock.charge_cpu(self.costs.scan_tuple * count)
-        if extend is not None and extend.column in child_needed:
-            value = -1 if extend.value is None else extend.value
-            fetched[extend.column] = np.full(count, value, dtype=np.int64)
-
-        part = {}
-        part_oid = set()
-        for i in keep:
-            out = out_names[i]
-            part[out] = fetched[mapping[i][1]]
-            part_oid.add(out)  # scans and extends only produce oid columns
-        return part, count, part_oid
-
-    def _extend(self, node, needed):
-        child_needed = set(needed) - {node.column}
-        if not child_needed:
-            child_needed = {node.child.output_columns()[0]}
-        child = self._execute(node.child, child_needed)
-        rel = child.relation
-        if node.column not in needed:
-            return child
-        value = -1 if node.value is None else node.value
-        columns = dict(rel.columns)
-        columns[node.column] = np.full(rel.n_rows, value, dtype=np.int64)
-        oid = set(rel.oid_columns) | {node.column}
-        return _Intermediate(Relation(columns, oid), child.sorted_by)
-
-    def _sort(self, node, needed):
-        child_needed = set(needed) | {c for c, _ in node.keys}
-        child = self._execute(node.child, child_needed)
-        rel = child.relation
-        n = rel.n_rows
-        self.clock.charge_cpu(
-            self.costs.sort_item * n * max(1, math.log2(max(n, 2)))
-        )
-        # np.lexsort sorts by the last key first; negate for descending
-        # (values are oids/counts, far from the int64 extremes).
-        sort_arrays = []
-        for column, direction in reversed(node.keys):
-            values = rel.column(column)
-            sort_arrays.append(-values if direction == "desc" else values)
-        order = np.lexsort(sort_arrays) if n else np.empty(0, dtype=np.int64)
-        columns = {name: a[order] for name, a in rel.columns.items()}
-        sorted_by = tuple(
-            c for c, d in node.keys if d == "asc"
-        ) if all(d == "asc" for _, d in node.keys) else ()
-        return _Intermediate(Relation(columns, rel.oid_columns), sorted_by)
-
-    def _limit(self, node, needed):
-        child = self._execute(node.child, needed)
-        rel = child.relation
-        columns = {name: a[: node.n] for name, a in rel.columns.items()}
-        return _Intermediate(
-            Relation(columns, rel.oid_columns), child.sorted_by
-        )
-
-    def _distinct(self, node):
-        child = self._execute(node.child, set(node.output_columns()))
-        rel = child.relation
-        self.clock.charge_cpu(self.costs.group_tuple * max(rel.n_rows, 1))
-        idx = V.distinct_rows([rel.column(n) for n in rel.columns])
-        columns = {n: a[idx] for n, a in rel.columns.items()}
-        return _Intermediate(Relation(columns, rel.oid_columns), tuple(columns))
+__all__ = ["ColumnExecutor", "VALUE_BYTES", "_Intermediate"]

@@ -4,9 +4,10 @@ from repro.bench.runner import BenchmarkRunner
 from repro.colstore import ColumnStoreEngine
 from repro.core.bgp import bgp_plan
 from repro.errors import StorageError
+from repro.exec import execute_plan
 from repro.model.parser import parse_ntriples_text
 from repro.model.triple import Variable
-from repro.plan.render import render_plan
+from repro.plan.render import render_physical_plan, render_plan
 from repro.queries import ALL_QUERY_NAMES, build_query
 from repro.rowstore import RowStoreEngine
 from repro.sql.planner import plan_sql
@@ -127,7 +128,7 @@ class RDFStore:
             )
 
             plan = optimize_joins(plan, engine_stats_provider(self.engine))
-        relation = self.engine.execute(plan)
+        relation = execute_plan(self.engine, plan)
         return relation.decoded_tuples(
             self.catalog.dictionary, order=plan.output_columns()
         )
@@ -142,7 +143,7 @@ class RDFStore:
                          (Var("s"), "<language>", Var("lang"))])
         """
         plan, names = bgp_plan(self.catalog, patterns, projection)
-        relation = self.engine.execute(plan)
+        relation = execute_plan(self.engine, plan)
         if not names:
             # Fully-bound BGP: one empty binding per match.
             return [{} for _ in range(relation.n_rows)]
@@ -208,13 +209,22 @@ class RDFStore:
     # introspection
     # ------------------------------------------------------------------
 
-    def explain(self, sql_or_patterns):
-        """Render the logical plan for SQL text or a BGP pattern list."""
+    def explain(self, sql_or_patterns, physical=False):
+        """Render the logical plan for SQL text or a BGP pattern list.
+
+        With ``physical=True``, additionally render the engine-lowered
+        physical operator tree the unified execution layer will run.
+        """
         if isinstance(sql_or_patterns, str):
             plan = plan_sql(sql_or_patterns, self.catalog)
         else:
             plan, _ = bgp_plan(self.catalog, sql_or_patterns)
-        return render_plan(plan)
+        rendered = render_plan(plan)
+        if physical:
+            rendered += "\n\nphysical plan:\n" + render_physical_plan(
+                self.engine.lower(plan)
+            )
+        return rendered
 
     def profile(self, query, mode="cold", scope=None):
         """EXPLAIN ANALYZE: run *query* with full observability and return
@@ -230,17 +240,24 @@ class RDFStore:
         plan = self._plan_for(query, scope=scope)
         return profile_plan(self.engine, plan, mode=mode, query=query)
 
-    def analyze(self, query, scope=None):
+    def analyze(self, query, scope=None, physical=False):
         """Run the static plan linter over *query* without executing it.
 
         *query* is a benchmark query name (``q1``..``q8``, ``q2*``..),
         SPARQL text (anything containing ``{``), or SQL text.  Returns the
         list of :class:`~repro.analysis.Diagnostic` findings, most severe
         first (empty = clean).
-        """
-        from repro.analysis import lint_plan
 
-        return list(lint_plan(self._plan_for(query, scope=scope)))
+        With ``physical=True`` the plan is first lowered through this
+        store's engine registry and the physical rule set (e.g.
+        ``wrong-engine-operator``) runs alongside the logical rules.
+        """
+        from repro.analysis import lint_physical_plan, lint_plan
+
+        plan = self._plan_for(query, scope=scope)
+        if physical:
+            return list(lint_physical_plan(self.engine.lower(plan)))
+        return list(lint_plan(plan))
 
     def _plan_for(self, query, scope=None):
         if query in ALL_QUERY_NAMES:

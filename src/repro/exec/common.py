@@ -1,0 +1,54 @@
+"""Cost formulas and conventions shared by every engine's operator set.
+
+Before the unified layer, the column-store and row-store executors each
+carried private copies of these: the sort cost formula, the per-row
+grouping charge, the missing-value placeholder for aggregates over empty
+inputs and for Extend constants absent from the dictionary, and the
+sortedness bookkeeping after an all-ascending sort.  Divergent copies are
+exactly how simulated engines drift apart, so they live here once and the
+operator modules import them.
+"""
+
+import math
+
+#: Placeholder for values that do not exist: a min/max over zero rows, or
+#: an Extend constant absent from the dictionary (no real oid is negative,
+#: so the placeholder can never collide with stored data).
+MISSING_VALUE = -1
+
+#: min/max realize lexicographic string aggregation thanks to the
+#: order-preserving dictionary encoding (see GroupBy's docstring).
+AGGREGATE_REDUCERS = ("min", "max")
+
+
+def sort_cost(costs, n_rows):
+    """CPU charge for sorting *n_rows*: ``sort_item * n * log2(n)``, with
+    the log floored at one comparison so tiny inputs still pay."""
+    return costs.sort_item * n_rows * max(1, math.log2(max(n_rows, 2)))
+
+
+def group_unit_cost(costs, n_aggregates):
+    """Per-row CPU charge of a GroupBy: one hash/probe step plus one
+    accumulator update per aggregate."""
+    return costs.group_tuple * (1 + n_aggregates)
+
+
+def extend_fill_value(value):
+    """The stored constant for an Extend node (missing -> placeholder)."""
+    return MISSING_VALUE if value is None else value
+
+
+def update_accumulator(func, current, value):
+    """Tuple-at-a-time min/max accumulator step."""
+    if func == "min":
+        return value if value < current else current
+    return value if value > current else current
+
+
+def ascending_prefix(keys):
+    """The sortedness a Sort guarantees afterwards: its full key list when
+    every direction is ascending, nothing otherwise (descending runs are
+    not representable in the sorted-prefix metadata)."""
+    if all(direction == "asc" for _, direction in keys):
+        return tuple(column for column, _ in keys)
+    return ()

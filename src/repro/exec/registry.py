@@ -1,0 +1,169 @@
+"""The engine-keyed physical-operator registry and the lowering pass.
+
+An engine contributes an :class:`EngineOperatorSet`: an ordered list of
+:class:`OperatorDef` entries, each pairing a *match* function (does this
+operator implement this logical node, and which logical children remain to
+be lowered?) with an execution function.  :func:`lower_plan` walks a
+logical tree top-down, binds the first matching operator per node — first
+match wins, so engines register their fused/fast operators before the
+generic ones — and emits the :class:`~repro.exec.physical.PhysicalPlan`
+tree the shared :class:`~repro.exec.runtime.Runtime` drives.
+
+Engines under this package's management:
+
+* ``column-store`` — vector paradigm (:mod:`repro.colstore.operators`),
+* ``row-store`` — pull paradigm (:mod:`repro.rowstore.operators`).
+
+Registration is import-driven; :func:`engine_ops` lazily imports the
+module listed in :data:`ENGINE_MODULES` the first time an engine key is
+looked up, so ``import repro.plan`` stays light.
+"""
+
+import importlib
+
+from repro.errors import EngineError
+from repro.exec.physical import PhysicalPlan
+
+#: engine key -> module that registers its operator set on import.
+ENGINE_MODULES = {
+    "column-store": "repro.colstore.operators",
+    "row-store": "repro.rowstore.operators",
+}
+
+#: Execution paradigms the runtime knows how to drive.
+PARADIGMS = ("vector", "pull")
+
+_REGISTRY = {}  # engine key -> EngineOperatorSet
+
+
+class Lowered:
+    """A match outcome: which logical children still need lowering, which
+    extra logical nodes the operator absorbed (fusion), free-form details
+    for EXPLAIN."""
+
+    __slots__ = ("children", "fused", "details")
+
+    def __init__(self, children=(), fused=(), details=None):
+        self.children = tuple(children)
+        self.fused = tuple(fused)
+        self.details = details
+
+
+class OperatorDef:
+    """One physical operator: its name, lowering match, and execution fn."""
+
+    __slots__ = ("name", "engine", "match", "fn", "description")
+
+    def __init__(self, name, engine, match, fn, description=""):
+        self.name = name
+        self.engine = engine
+        self.match = match
+        self.fn = fn
+        self.description = description
+
+    def __repr__(self):
+        return f"OperatorDef({self.engine}/{self.name})"
+
+
+class EngineOperatorSet:
+    """Ordered operator registry for one engine."""
+
+    def __init__(self, engine, paradigm):
+        if paradigm not in PARADIGMS:
+            raise EngineError(
+                f"unknown paradigm {paradigm!r}; expected one of {PARADIGMS}"
+            )
+        if engine in _REGISTRY:
+            raise EngineError(
+                f"operator set for engine {engine!r} already registered"
+            )
+        self.engine = engine
+        self.paradigm = paradigm
+        self.rules = []
+        _REGISTRY[engine] = self
+
+    def operator(self, name, match, description=""):
+        """Decorator: register the wrapped fn as operator *name*.
+
+        *match* maps a logical node to a :class:`Lowered` (or ``None`` for
+        no match).  Registration order is priority order.
+        """
+
+        def register(fn):
+            self.rules.append(
+                OperatorDef(name, self.engine, match, fn, description)
+            )
+            return fn
+
+        return register
+
+    def operator_names(self):
+        return [rule.name for rule in self.rules]
+
+
+def match_type(*node_types):
+    """A match function accepting the given logical node types, lowering
+    every logical child."""
+
+    def match(node):
+        if isinstance(node, node_types):
+            return Lowered(children=node.children())
+        return None
+
+    return match
+
+
+def engine_ops(engine):
+    """The operator set for *engine*, importing its module on first use."""
+    ops = _REGISTRY.get(engine)
+    if ops is not None:
+        return ops
+    module = ENGINE_MODULES.get(engine)
+    if module is not None:
+        importlib.import_module(module)
+        ops = _REGISTRY.get(engine)
+        if ops is not None:
+            return ops
+    raise EngineError(
+        f"no physical operators registered for engine {engine!r}; "
+        f"known engines: {sorted(set(_REGISTRY) | set(ENGINE_MODULES))}"
+    )
+
+
+def registered_engines():
+    """Engine keys with an operator set available (forces lazy imports)."""
+    for engine in ENGINE_MODULES:
+        try:
+            engine_ops(engine)
+        except EngineError:  # pragma: no cover - import-failure guard
+            pass
+    return sorted(_REGISTRY)
+
+
+def lower_plan(plan, engine):
+    """Lower a logical plan to a physical tree for *engine*.
+
+    Every logical node binds the first registered operator whose match
+    accepts it; an unmatched node is an :class:`EngineError` naming the
+    engine — the unified-layer replacement for the legacy executors'
+    ``cannot execute`` dispatch failures.
+    """
+    ops = engine_ops(engine)
+
+    def lower(node):
+        for opdef in ops.rules:
+            lowered = opdef.match(node)
+            if lowered is None:
+                continue
+            children = tuple(lower(child) for child in lowered.children)
+            return PhysicalPlan(
+                opdef, engine, node,
+                children=children,
+                fused=lowered.fused,
+                details=lowered.details,
+            )
+        raise EngineError(
+            f"{engine} has no physical operator for {type(node).__name__}"
+        )
+
+    return lower(plan)

@@ -41,7 +41,12 @@ from repro.observe.trace import (
     vector_dict,
 )
 from repro.plan.optimizer import annotate_cardinalities, engine_stats_provider
-from repro.plan.render import describe_node, render_plan
+from repro.plan.render import (
+    describe_node,
+    describe_physical_node,
+    render_physical_plan,
+    render_plan,
+)
 
 PROFILE_SCHEMA_VERSION = 1
 
@@ -81,6 +86,9 @@ class QueryProfile:
     segments: dict
     relation: object = None
     notes: list = field(default_factory=list)
+    #: Engine-lowered physical tree (None for engines outside the unified
+    #: execution layer, e.g. the C-Store replica).
+    physical: object = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -144,6 +152,16 @@ class QueryProfile:
                 annotate=self._annotate,
             )
         )
+        if self.physical is not None:
+            lines.append("")
+            lines.append("physical plan:")
+            lines.append(
+                render_physical_plan(
+                    self.physical,
+                    max_union_branches=max_union_branches,
+                    annotate=self._annotate_physical,
+                )
+            )
         if with_metrics:
             text = self.registry.render_text()
             if text:
@@ -183,6 +201,22 @@ class QueryProfile:
             return ""
         return "  · " + " · ".join(parts)
 
+    def _annotate_physical(self, pnode):
+        span = self.tracer.span_for(pnode.logical)
+        if span is None:
+            return ""
+        parts = []
+        if span.rows is not None:
+            parts.append(f"rows={span.rows}")
+        if span.estimated_rows is not None:
+            parts.append(f"est={span.estimated_rows:.0f}")
+            ratio = span.misestimate_ratio()
+            if ratio is not None:
+                parts.append(f"x{ratio:.1f}")
+        if not parts:
+            return ""
+        return "  · " + " · ".join(parts)
+
     # ------------------------------------------------------------------
     # JSON export
     # ------------------------------------------------------------------
@@ -207,6 +241,10 @@ class QueryProfile:
             "categories": dict(self.categories),
             "unattributed_seconds": self.unattributed_seconds(),
             "plan": self._span_dict(self.root),
+            "physical": (
+                self._physical_dict(self.physical)
+                if self.physical is not None else None
+            ),
             "segments": {
                 name: stats.to_dict()
                 for name, stats in sorted(self.segments.items())
@@ -229,6 +267,23 @@ class QueryProfile:
             "children": [self._span_dict(c) for c in span.children],
         }
 
+    def _physical_dict(self, pnode):
+        span = self.tracer.span_for(pnode.logical)
+        return {
+            "operator": pnode.name,
+            "engine": pnode.engine,
+            "describe": describe_physical_node(pnode),
+            "fused": len(pnode.fused),
+            "actual_rows": span.rows if span is not None else None,
+            "estimated_rows": (
+                span.estimated_rows if span is not None else None
+            ),
+            "misestimate_ratio": (
+                span.misestimate_ratio() if span is not None else None
+            ),
+            "children": [self._physical_dict(c) for c in pnode.children],
+        }
+
     def to_json(self, indent=2):
         return json.dumps(self.to_dict(), indent=indent)
 
@@ -248,6 +303,9 @@ def profile_plan(engine, plan, mode="cold", query=""):
         raise BenchmarkError(f"unknown mode {mode!r}")
 
     estimates = annotate_cardinalities(plan, engine_stats_provider(engine))
+    # The lowered tree the unified layer will actually run (engines outside
+    # the layer, e.g. the C-Store replica, have no lowering).
+    physical = engine.lower(plan) if hasattr(engine, "lower") else None
 
     registry = MetricsRegistry()
     tracer = Tracer(clock=engine.clock)
@@ -286,6 +344,7 @@ def profile_plan(engine, plan, mode="cold", query=""):
         categories=engine.clock.category_seconds(),
         segments=engine.disk.read_stats(),
         relation=relation,
+        physical=physical,
     )
 
 
@@ -331,6 +390,8 @@ def validate_profile(document):
         "counters": dict, "gauges": dict, "histograms": dict,
     })
     _validate_span(document["plan"], path="plan")
+    if document.get("physical") is not None:
+        _validate_physical(document["physical"], path="physical")
     return document
 
 
@@ -358,6 +419,23 @@ def _validate_span(node, path):
         raise ValueError(f"{path}.misestimate_ratio must be >= 1 or null")
     for i, child in enumerate(node["children"]):
         _validate_span(child, f"{path}.children[{i}]")
+
+
+def _validate_physical(node, path):
+    _require(node, path, {
+        "operator": str,
+        "engine": str,
+        "describe": str,
+        "fused": int,
+        "children": list,
+    })
+    ratio = node.get("misestimate_ratio")
+    if ratio is not None and (
+        not isinstance(ratio, (int, float)) or ratio < 1.0
+    ):
+        raise ValueError(f"{path}.misestimate_ratio must be >= 1 or null")
+    for i, child in enumerate(node["children"]):
+        _validate_physical(child, f"{path}.children[{i}]")
 
 
 def _require(mapping, path, fields):

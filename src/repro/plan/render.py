@@ -1,4 +1,9 @@
-"""Pretty-printer for logical plans (used by RDFStore.explain)."""
+"""Pretty-printers for logical and physical plans.
+
+:func:`render_plan` draws a logical tree (RDFStore.explain);
+:func:`render_physical_plan` draws the engine-lowered physical tree the
+unified execution layer runs (``repro profile``, ``repro analyze``).
+"""
 
 from repro.plan import logical as L
 
@@ -22,6 +27,50 @@ def render_plan(plan, max_union_branches=4, annotate=None):
 def describe_node(node):
     """One-line description of a plan node (public alias)."""
     return _describe(node)
+
+
+def render_physical_plan(physical, max_union_branches=4, annotate=None):
+    """Render a lowered physical tree as indented text.
+
+    Each line shows the physical operator, its engine, and the logical
+    node(s) it implements (fused nodes inline, e.g. the access paths that
+    absorb a Select into their Scan).  Union elision follows
+    :func:`render_plan`.  *annotate*, when given, maps a *physical* node
+    to extra text (the profiler attaches est/actual rows this way).
+    """
+    lines = []
+    _render_physical(physical, 0, lines, max_union_branches, annotate)
+    return "\n".join(lines)
+
+
+def describe_physical_node(pnode):
+    """One-line description of a physical node."""
+    described = " + ".join(_describe(n) for n in pnode.logical_nodes())
+    return f"{pnode.name} [{pnode.engine}] :: {described}"
+
+
+def _render_physical(pnode, depth, lines, max_union_branches, annotate=None):
+    indent = "  " * depth
+    suffix = annotate(pnode) if annotate else ""
+    lines.append(f"{indent}{describe_physical_node(pnode)}{suffix}")
+    children = pnode.children
+    if (
+        isinstance(pnode.logical, L.Union)
+        and len(children) > max_union_branches
+    ):
+        shown = children[:max_union_branches]
+        for child in shown:
+            _render_physical(
+                child, depth + 1, lines, max_union_branches, annotate
+            )
+        lines.append(
+            f"{indent}  ... {len(children) - len(shown)} more union branches"
+        )
+        return
+    for child in children:
+        _render_physical(
+            child, depth + 1, lines, max_union_branches, annotate
+        )
 
 
 def _render(node, depth, lines, max_union_branches, annotate=None):

@@ -10,7 +10,7 @@ from repro.engine import (
 from repro.errors import StorageError
 from repro.observe import NULL_OBSERVATION
 from repro.plan.logical import count_operators
-from repro.rowstore.executor import RowExecutor
+from repro.exec.runtime import Runtime
 from repro.rowstore.table import RowTable
 
 
@@ -54,7 +54,15 @@ class RowStoreEngine:
         )
         self.btree_order = btree_order
         self._tables = {}
-        self._executor = RowExecutor(self)
+        self._executor = Runtime(self)
+
+    def executor(self):
+        """The engine's execution runtime (unified layer)."""
+        return self._executor
+
+    def lower(self, plan):
+        """Physical plan for *plan* under this engine's operator set."""
+        return self._executor.lower(plan)
 
     def install_observation(self, observe):
         """Install (or, with ``None``, remove) an Observation bundle."""

@@ -1,624 +1,16 @@
-"""Tuple-at-a-time executor with heuristic access-path selection.
+"""Compatibility shim for the legacy row executor entry points.
 
-Physical plan construction follows what the paper describes observing in
-DBX's plans:
-
-* selections bind as long an equality prefix of an index as possible; the
-  clustered index wins ties (no heap re-fetch),
-* joins run as index nested loops when one side is a base table with an
-  index leading on the join column, hash joins otherwise,
-* everything else (grouping, having, union, distinct) is pipelined/
-  materialized tuple-at-a-time with row-store CPU costs.
+The tuple-at-a-time interpretation loop that used to live here moved into
+the unified execution layer: the operator bodies are registered in
+:mod:`repro.rowstore.operators` and driven by
+:class:`repro.exec.runtime.Runtime`.  ``RowExecutor`` is now an alias of
+the shared runtime (same ``execute(plan)`` surface and ``join_strategy``
+knob the ablation bench pokes), kept so existing imports and
+``engine._executor`` users keep working.
 """
 
-from repro.errors import EngineError
-from repro.plan import logical as L
-from repro.plan.predicates import is_column_comparison
-from repro.relation import Relation
-
-
-class Stream:
-    """A stream of tuples plus its (qualified) column names."""
-
-    __slots__ = ("columns", "_iterator")
-
-    def __init__(self, columns, iterator):
-        self.columns = list(columns)
-        self._iterator = iterator
-
-    def __iter__(self):
-        return iter(self._iterator)
-
-    def position(self, column):
-        try:
-            return self.columns.index(column)
-        except ValueError:
-            raise EngineError(
-                f"stream has no column {column!r}; has {self.columns}"
-            ) from None
-
-
-class RowExecutor:
-    def __init__(self, engine):
-        self.engine = engine
-        self.costs = engine.costs
-        self.clock = engine.clock
-        self.pool = engine.pool
-
-    # ------------------------------------------------------------------
-    # entry point
-    # ------------------------------------------------------------------
-
-    def execute(self, plan):
-        stream = self._build(plan)
-        out_names = plan.output_columns()
-        rows = list(stream)
-        oid = set(out_names) - self._count_columns(plan)
-        return Relation.from_rows(out_names, rows, oid_columns=oid)
-
-    def _count_columns(self, plan):
-        """Names of aggregate-output columns anywhere in the plan."""
-        counts = set()
-        for node in L.walk(plan):
-            if isinstance(node, L.GroupBy):
-                counts.add(node.count_column)
-        return counts
-
-    # ------------------------------------------------------------------
-    # physical plan construction
-    # ------------------------------------------------------------------
-
-    def _build(self, node):
-        """Build *node*'s stream; when an Observation is installed, wrap it
-        so every tuple pull is attributed to the node's trace span.
-
-        The executor is lazy — an operator's work happens inside its
-        generator while a parent pulls — so attribution brackets each
-        ``next()`` call; pulls from child streams (themselves wrapped)
-        subtract automatically.  A Select fused with its Scan reports the
-        combined access path under the Select node.
-        """
-        stream = self._dispatch(node)
-        observe = self.engine.observe
-        if observe.enabled:
-            return self._traced_stream(node, stream, observe.tracer)
-        return stream
-
-    def _traced_stream(self, node, stream, tracer):
-        def generate():
-            iterator = iter(stream)
-            span = None
-            rows = 0
-            while True:
-                tracer.enter(node)
-                try:
-                    try:
-                        row = next(iterator)
-                    except StopIteration:
-                        break
-                finally:
-                    tracer.exit(node)
-                rows += 1
-                if span is None:
-                    span = tracer.span_for(node)
-                if span is not None:
-                    span.rows = rows
-                yield row
-            tracer.set_rows(node, rows)
-
-        return Stream(stream.columns, generate())
-
-    def _dispatch(self, node):
-        if isinstance(node, L.Select) and isinstance(node.child, L.Scan):
-            return self._access_path(node.child, node.predicates)
-        if isinstance(node, L.Scan):
-            return self._access_path(node, [])
-        if isinstance(node, L.Select):
-            return self._filter(self._build(node.child), node.predicates)
-        if isinstance(node, L.Project):
-            return self._project(self._build(node.child), node.mapping)
-        if isinstance(node, L.Join):
-            return self._join(node)
-        if isinstance(node, L.GroupBy):
-            return self._group_by(node)
-        if isinstance(node, L.Having):
-            return self._filter(self._build(node.child), [node.predicate])
-        if isinstance(node, L.Union):
-            return self._union(node)
-        if isinstance(node, L.Distinct):
-            return self._distinct(self._build(node.child))
-        if isinstance(node, L.Extend):
-            return self._extend(self._build(node.child), node)
-        if isinstance(node, L.Sort):
-            return self._sort(self._build(node.child), node)
-        if isinstance(node, L.Limit):
-            return self._limit(self._build(node.child), node)
-        raise EngineError(f"row store cannot execute {type(node).__name__}")
-
-    # ------------------------------------------------------------------
-    # base-table access
-    # ------------------------------------------------------------------
-
-    def _access_path(self, scan, predicates):
-        table = self.engine.table(scan.table)
-        out_columns = scan.output_columns()
-
-        cross_preds = [
-            (
-                table.column_position(self._base_column(scan, p.left)),
-                table.column_position(self._base_column(scan, p.right)),
-                p,
-            )
-            for p in predicates
-            if is_column_comparison(p)
-        ]
-        predicates = [p for p in predicates if not is_column_comparison(p)]
-        base_preds = [
-            (self._base_column(scan, p.column), p) for p in predicates
-        ]
-        # An equality against a constant missing from the dictionary can
-        # never match: empty stream, no I/O.
-        if any(p.value is None and p.is_equality() for _, p in base_preds):
-            return Stream(out_columns, iter(()))
-
-        eq_values = {}
-        for col, p in base_preds:
-            if p.is_equality() and col not in eq_values:
-                eq_values[col] = p.value
-
-        index, prefix_len = self._choose_index(table, set(eq_values))
-        if index is None:
-            return self._seq_scan(table, scan, base_preds, cross_preds)
-        prefix = tuple(eq_values[c] for c in index.key_columns[:prefix_len])
-        # Only the specific predicate instances bound into the prefix are
-        # satisfied by the index range; any further equality on the same
-        # column (e.g. the contradictory ``x = 0 AND x = 3``) must stay a
-        # residual filter.
-        consumed_ids = set()
-        for key_column in index.key_columns[:prefix_len]:
-            for col, p in base_preds:
-                if (
-                    id(p) not in consumed_ids
-                    and p.is_equality()
-                    and col == key_column
-                    and p.value == eq_values[key_column]
-                ):
-                    consumed_ids.add(id(p))
-                    break
-        residual = [
-            (col, p) for col, p in base_preds if id(p) not in consumed_ids
-        ]
-        return self._index_scan(
-            table, scan, index, prefix, residual, cross_preds
-        )
-
-    def _choose_index(self, table, eq_columns):
-        """Pick an access path: the clustered index whenever it binds any
-        equality prefix, else the secondary with the longest prefix.
-
-        Clustered-first mirrors what the paper observed in DBX's plans
-        ("the beneficial impact of the PSO clustering; the remaining
-        indices have little impact", Section 4.3): a clustered range is a
-        sequential heap read, while a secondary pays one scattered heap
-        fetch per match.
-        """
-        best = None
-        for index in table.all_indexes():
-            k = index.equality_prefix_length(eq_columns)
-            if k == 0:
-                continue
-            rank = (1 if index.clustered else 0, k)
-            if best is None or rank > best[0]:
-                best = (rank, index)
-        if best is None:
-            return None, 0
-        return best[1], best[0][1]
-
-    def _base_column(self, scan, qualified):
-        if scan.alias and qualified.startswith(scan.alias + "."):
-            return qualified[len(scan.alias) + 1 :]
-        return qualified
-
-    def _seq_scan(self, table, scan, base_preds, cross_preds=()):
-        out_columns = scan.output_columns()
-        # Physical rows carry every table column; the scan may expose a
-        # subset (e.g. one property column of the wide property table), so
-        # project each emitted tuple to the declared columns.
-        emit = [table.column_position(c) for c in scan.base_columns]
-
-        def generate():
-            self.pool.read_segment(table.heap_segment)
-            costs, clock = self.costs, self.clock
-            preds = [
-                (table.column_position(col), p) for col, p in base_preds
-            ]
-            for row in table.rows:
-                clock.charge_cpu(costs.scan_tuple)
-                ok = True
-                for pos, p in preds:
-                    clock.charge_cpu(costs.select_tuple)
-                    if not p.evaluate(row[pos]):
-                        ok = False
-                        break
-                if ok:
-                    for left, right, p in cross_preds:
-                        clock.charge_cpu(costs.select_tuple)
-                        if not p.evaluate(row[left], row[right]):
-                            ok = False
-                            break
-                if ok:
-                    yield tuple(row[i] for i in emit)
-
-        return Stream(out_columns, generate())
-
-    def _index_scan(self, table, scan, index, prefix, residual,
-                    cross_preds=()):
-        out_columns = scan.output_columns()
-        emit = [table.column_position(c) for c in scan.base_columns]
-
-        def generate():
-            row_ids = [rid for _, rid in index.tree.prefix_scan(prefix)]
-            if not row_ids:
-                return
-            if index.clustered:
-                lo, hi = min(row_ids), max(row_ids) + 1
-                first, last = table.heap_pages_of_range(lo, hi)
-                self.pool.read_pages(table.heap_segment, range(first, last))
-            else:
-                pages = sorted(
-                    {table.heap_page_of_row(rid) for rid in row_ids}
-                )
-                self.pool.read_pages(
-                    table.heap_segment, pages, scattered=True
-                )
-            costs, clock = self.costs, self.clock
-            preds = [(table.column_position(col), p) for col, p in residual]
-            for rid in row_ids:
-                clock.charge_cpu(costs.scan_tuple)
-                row = table.rows[rid]
-                ok = True
-                for pos, p in preds:
-                    clock.charge_cpu(costs.select_tuple)
-                    if not p.evaluate(row[pos]):
-                        ok = False
-                        break
-                if ok:
-                    for left, right, p in cross_preds:
-                        clock.charge_cpu(costs.select_tuple)
-                        if not p.evaluate(row[left], row[right]):
-                            ok = False
-                            break
-                if ok:
-                    yield tuple(row[i] for i in emit)
-
-        return Stream(out_columns, generate())
-
-    # ------------------------------------------------------------------
-    # pipelined operators
-    # ------------------------------------------------------------------
-
-    def _filter(self, stream, predicates):
-        compiled = []
-        for p in predicates:
-            if is_column_comparison(p):
-                compiled.append(
-                    (stream.position(p.left), stream.position(p.right), p)
-                )
-            else:
-                compiled.append((stream.position(p.column), None, p))
-
-        def generate():
-            costs, clock = self.costs, self.clock
-            for row in stream:
-                ok = True
-                for left, right, p in compiled:
-                    clock.charge_cpu(costs.select_tuple)
-                    if right is None:
-                        if not p.evaluate(row[left]):
-                            ok = False
-                            break
-                    elif not p.evaluate(row[left], row[right]):
-                        ok = False
-                        break
-                if ok:
-                    yield row
-
-        return Stream(stream.columns, generate())
-
-    def _project(self, stream, mapping):
-        positions = [stream.position(i) for _, i in mapping]
-
-        def generate():
-            for row in stream:
-                yield tuple(row[p] for p in positions)
-
-        return Stream([o for o, _ in mapping], generate())
-
-    # ------------------------------------------------------------------
-    # joins
-    # ------------------------------------------------------------------
-
-    #: Upper bound on outer cardinality for index nested loops.
-    INL_MAX_OUTER = 20_000
-
-    #: Join-method policy: "auto" (cost rule), "hash" (never probe), or
-    #: "inl" (always probe when an index exists).  The non-auto settings
-    #: exist for the join-strategy ablation bench.
-    join_strategy = "auto"
-
-    def _join(self, node):
-        if self.join_strategy != "hash" and len(node.on) == 1:
-            (lcol, rcol), = node.on
-            for inner_node, inner_col, outer_node, outer_col, swap in (
-                (node.right, rcol, node.left, lcol, False),
-                (node.left, lcol, node.right, rcol, True),
-            ):
-                inner = self._inner_candidate(inner_node, inner_col)
-                if inner is None:
-                    continue
-                scan, inner_preds, table, index = inner
-                # Materialize the outer to learn its cardinality: a small
-                # outer probes the index; a large one would touch more pages
-                # than a scan, so the optimizer falls back to a hash join.
-                outer = self._build(outer_node)
-                rows = list(outer)
-                materialized = Stream(outer.columns, iter(rows))
-                # Cost rule: each probe touches ~(height + 1) pages cold, so
-                # prefer the index only when that upper bound beats a scan.
-                probe_pages = 1 + index.tree.height()
-                probed_bytes = len(rows) * probe_pages * table.heap_segment.page_size
-                if self.join_strategy == "inl" or (
-                    len(rows) <= self.INL_MAX_OUTER
-                    and probed_bytes < max(table.heap_segment.nbytes, 1)
-                ):
-                    return self._index_nested_loop(
-                        materialized, outer_col, scan, inner_preds,
-                        table, index, swap=swap,
-                    )
-                inner_stream = self._build(inner_node)
-                if swap:
-                    return self._hash_join_streams(
-                        inner_stream, materialized, [(lcol, rcol)]
-                    )
-                return self._hash_join_streams(
-                    materialized, inner_stream, [(lcol, rcol)]
-                )
-        left = self._build(node.left)
-        right = self._build(node.right)
-        return self._hash_join_streams(left, right, node.on)
-
-    def _inner_candidate(self, child, join_col):
-        """(scan, predicates, table, index) when *child* is a base access
-        with an index leading on the join column."""
-        if isinstance(child, L.Select) and isinstance(child.child, L.Scan):
-            scan, predicates = child.child, child.predicates
-            if any(is_column_comparison(p) for p in predicates):
-                return None
-        elif isinstance(child, L.Scan):
-            scan, predicates = child, []
-        else:
-            return None
-        base_col = self._base_column(scan, join_col)
-        table = self.engine.table(scan.table)
-        best = None
-        for index in table.all_indexes():
-            if index.key_columns[0] != base_col:
-                continue
-            if best is None or (index.clustered and not best.clustered):
-                best = index
-        if best is None:
-            return None
-        return scan, predicates, table, best
-
-    def _index_nested_loop(self, outer, outer_col, scan, inner_preds,
-                           table, index, swap):
-        outer_pos = outer.position(outer_col)
-        inner_columns = scan.output_columns()
-        if swap:
-            out_columns = inner_columns + outer.columns
-        else:
-            out_columns = outer.columns + inner_columns
-        base_preds = [
-            (table.column_position(self._base_column(scan, p.column)), p)
-            for p in inner_preds
-        ]
-        emit = [table.column_position(c) for c in scan.base_columns]
-
-        def generate():
-            costs, clock = self.costs, self.clock
-            for outer_row in outer:
-                value = outer_row[outer_pos]
-                row_ids = [
-                    rid for _, rid in index.tree.prefix_scan((value,))
-                ]
-                if not row_ids:
-                    continue
-                if index.clustered:
-                    lo, hi = min(row_ids), max(row_ids) + 1
-                    first, last = table.heap_pages_of_range(lo, hi)
-                    self.pool.read_pages(
-                        table.heap_segment, range(first, last)
-                    )
-                else:
-                    pages = sorted(
-                        {table.heap_page_of_row(rid) for rid in row_ids}
-                    )
-                    self.pool.read_pages(
-                        table.heap_segment, pages, scattered=True
-                    )
-                for rid in row_ids:
-                    clock.charge_cpu(costs.scan_tuple)
-                    row = table.rows[rid]
-                    ok = True
-                    for pos, p in base_preds:
-                        clock.charge_cpu(costs.select_tuple)
-                        if not p.evaluate(row[pos]):
-                            ok = False
-                            break
-                    if not ok:
-                        continue
-                    clock.charge_cpu(costs.union_tuple)
-                    inner_row = tuple(row[i] for i in emit)
-                    if swap:
-                        yield inner_row + outer_row
-                    else:
-                        yield outer_row + inner_row
-
-        return Stream(out_columns, generate())
-
-    def _hash_join_streams(self, left, right, on):
-        left_rows = list(left)
-        right_rows = list(right)
-        lpos = [left.position(l) for l, _ in on]
-        rpos = [right.position(r) for _, r in on]
-        costs, clock = self.costs, self.clock
-
-        if len(left_rows) <= len(right_rows):
-            build_rows, build_pos = left_rows, lpos
-            probe_rows, probe_pos = right_rows, rpos
-            build_is_left = True
-        else:
-            build_rows, build_pos = right_rows, rpos
-            probe_rows, probe_pos = left_rows, lpos
-            build_is_left = False
-
-        def generate():
-            table = {}
-            for row in build_rows:
-                clock.charge_cpu(costs.hash_build)
-                table.setdefault(
-                    tuple(row[p] for p in build_pos), []
-                ).append(row)
-            for row in probe_rows:
-                clock.charge_cpu(costs.hash_probe)
-                matches = table.get(tuple(row[p] for p in probe_pos), ())
-                for match in matches:
-                    clock.charge_cpu(costs.union_tuple)
-                    if build_is_left:
-                        yield match + row
-                    else:
-                        yield row + match
-
-        return Stream(left.columns + right.columns, generate())
-
-    # ------------------------------------------------------------------
-    # grouping, union, distinct
-    # ------------------------------------------------------------------
-
-    def _group_by(self, node):
-        child = self._build(node.child)
-        positions = [child.position(k) for k in node.keys]
-        agg_specs = [
-            (func, child.position(input_column))
-            for func, input_column, _ in node.aggregates
-        ]
-        costs, clock = self.costs, self.clock
-
-        def generate():
-            counts = {}
-            accumulators = {}
-            n_rows = 0
-            for row in child:
-                n_rows += 1
-                clock.charge_cpu(costs.group_tuple * (1 + len(agg_specs)))
-                key = tuple(row[p] for p in positions)
-                counts[key] = counts.get(key, 0) + 1
-                if agg_specs:
-                    current = accumulators.get(key)
-                    if current is None:
-                        accumulators[key] = [
-                            row[pos] for _, pos in agg_specs
-                        ]
-                    else:
-                        for i, (func, pos) in enumerate(agg_specs):
-                            value = row[pos]
-                            if func == "min":
-                                if value < current[i]:
-                                    current[i] = value
-                            elif value > current[i]:
-                                current[i] = value
-            if not node.keys:
-                aggregates = tuple(
-                    accumulators.get((), [-1] * len(agg_specs))
-                ) if agg_specs else ()
-                yield (n_rows,) + tuple(aggregates)
-                return
-            for key in sorted(counts):
-                aggregates = (
-                    tuple(accumulators[key]) if agg_specs else ()
-                )
-                yield key + (counts[key],) + aggregates
-
-        return Stream(node.output_columns(), generate())
-
-    def _union(self, node):
-        out_columns = node.inputs[0].output_columns()
-        costs, clock = self.costs, self.clock
-
-        def generate():
-            seen = set() if node.distinct else None
-            for child in node.inputs:
-                stream = self._build(child)
-                for row in stream:
-                    clock.charge_cpu(costs.union_tuple)
-                    if seen is None:
-                        yield row
-                    elif row not in seen:
-                        seen.add(row)
-                        yield row
-
-        return Stream(out_columns, generate())
-
-    def _extend(self, stream, node):
-        value = -1 if node.value is None else node.value
-
-        def generate():
-            for row in stream:
-                yield row + (value,)
-
-        return Stream(stream.columns + [node.column], generate())
-
-    def _sort(self, stream, node):
-        import math
-
-        positions = [
-            (stream.position(c), d == "desc") for c, d in node.keys
-        ]
-        costs, clock = self.costs, self.clock
-
-        def generate():
-            rows = list(stream)
-            n = len(rows)
-            clock.charge_cpu(
-                costs.sort_item * n * max(1, math.log2(max(n, 2)))
-            )
-            # Stable sorts applied last-key-first realize mixed asc/desc.
-            for pos, descending in reversed(positions):
-                rows.sort(key=lambda r: r[pos], reverse=descending)
-            yield from rows
-
-        return Stream(stream.columns, generate())
-
-    def _limit(self, stream, node):
-        def generate():
-            remaining = node.n
-            for row in stream:
-                if remaining <= 0:
-                    return
-                remaining -= 1
-                yield row
-
-        return Stream(stream.columns, generate())
-
-    def _distinct(self, stream):
-        costs, clock = self.costs, self.clock
-
-        def generate():
-            seen = set()
-            for row in stream:
-                clock.charge_cpu(costs.group_tuple)
-                if row not in seen:
-                    seen.add(row)
-                    yield row
-
-        return Stream(stream.columns, generate())
+from repro.exec.runtime import Runtime as RowExecutor
+from repro.exec.runtime import Stream
+from repro.rowstore.operators import INL_MAX_OUTER
+
+__all__ = ["RowExecutor", "Stream", "INL_MAX_OUTER"]

@@ -51,9 +51,16 @@ def sparql_plan(catalog, query):
 
 
 def execute_sparql(engine, catalog, query):
-    """Run a parsed :class:`SparqlQuery`; returns a list of binding dicts."""
+    """Run a parsed :class:`SparqlQuery`; returns a list of binding dicts.
+
+    Execution goes through the unified physical layer: the logical plan is
+    lowered against *engine*'s operator registry and driven by the shared
+    runtime (:func:`repro.exec.execute_plan`).
+    """
+    from repro.exec import execute_plan
+
     plan, names = sparql_plan(catalog, query)
-    relation = engine.execute(plan)
+    relation = execute_plan(engine, plan)
     if not names:
         return [{} for _ in range(relation.n_rows)]
     rows = relation.decoded_tuples(catalog.dictionary, order=names)

@@ -13,9 +13,10 @@ answers agree.
 
 from dataclasses import dataclass, field
 
-from repro.analysis import lint_plan
+from repro.analysis import lint_physical_plan
 from repro.colstore import ColumnStoreEngine
 from repro.cstore import CSTORE_QUERIES, CStoreEngine
+from repro.exec import execute_plan
 from repro.observe.log import get_logger
 from repro.queries import ALL_QUERY_NAMES, build_query, reference_answer
 from repro.rowstore import RowStoreEngine
@@ -129,9 +130,12 @@ def verify_dataset(dataset, queries=ALL_QUERY_NAMES, include_cstore=True):
         for query in queries:
             log.debug("checking %s %s", label, query)
             plan = build_query(catalog, query)
-            for diagnostic in lint_plan(plan):
+            # Lint the lowered physical tree: the physical rules run on
+            # top of every logical rule (same PlanFacts), so this also
+            # covers what lint_plan reported before the unified layer.
+            for diagnostic in lint_physical_plan(engine.lower(plan)):
                 result.diagnostics.append((label, query, diagnostic))
-            relation = engine.execute(plan)
+            relation = execute_plan(engine, plan)
             got = sorted(
                 relation.decoded_tuples(
                     catalog.dictionary, order=plan.output_columns()

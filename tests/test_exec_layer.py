@@ -1,0 +1,318 @@
+"""Unit tests for the unified execution layer (repro.exec)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ERROR, lint_physical_plan
+from repro.colstore import ColumnStoreEngine
+from repro.data import generate_barton
+from repro.errors import EngineError
+from repro.exec import (
+    PhysicalPlan,
+    count_physical_operators,
+    engine_ops,
+    execute_plan,
+    lower_plan,
+    registered_engines,
+    run_plan,
+    walk_physical,
+)
+from repro.plan import logical as L
+from repro.plan.render import render_physical_plan
+from repro.queries import ALL_QUERY_NAMES, build_physical_query, build_query
+from repro.rowstore import RowStoreEngine
+from repro.storage import build_triple_store, build_vertical_store
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_barton(
+        n_triples=1500, n_properties=24, n_interesting=16, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def column_setup(dataset):
+    engine = ColumnStoreEngine()
+    catalog = build_triple_store(
+        engine, dataset.triples, dataset.interesting_properties,
+        clustering="PSO",
+    )
+    return engine, catalog
+
+
+@pytest.fixture(scope="module")
+def row_setup(dataset):
+    engine = RowStoreEngine()
+    catalog = build_vertical_store(
+        engine, dataset.triples, dataset.interesting_properties
+    )
+    return engine, catalog
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_both_engines_registered():
+    assert registered_engines() == ["column-store", "row-store"]
+
+
+def test_paradigms():
+    assert engine_ops("column-store").paradigm == "vector"
+    assert engine_ops("row-store").paradigm == "pull"
+
+
+def test_unknown_engine_raises():
+    with pytest.raises(EngineError, match="no physical operators"):
+        engine_ops("paper-store")
+
+
+def test_fused_operators_registered_before_generic():
+    names = engine_ops("column-store").operator_names()
+    assert names.index("scan+select") < names.index("filter")
+    row_names = engine_ops("row-store").operator_names()
+    assert row_names.index("access-path") < row_names.index("filter")
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+
+def test_lowering_fuses_select_scan(column_setup):
+    _, catalog = column_setup
+    plan = build_query(catalog, "q1")
+    physical = lower_plan(plan, "column-store")
+    fused = [p for p in walk_physical(physical) if p.fused]
+    assert fused, "q1 has a Select(Scan) that must fuse"
+    for pnode in fused:
+        assert isinstance(pnode.logical, L.Select)
+        assert isinstance(pnode.fused[0], L.Scan)
+        assert pnode.logical_nodes() == (pnode.logical, pnode.fused[0])
+
+
+def test_lowering_covers_every_benchmark_query(column_setup, row_setup):
+    for engine, catalog in (column_setup, row_setup):
+        for name in ALL_QUERY_NAMES:
+            plan = build_query(catalog, name)
+            physical = lower_plan(plan, engine.kind)
+            for pnode in walk_physical(physical):
+                assert pnode.op.engine == engine.kind
+
+
+def test_physical_counts_fused_groups_once(column_setup):
+    _, catalog = column_setup
+    plan = build_query(catalog, "q2")
+    physical = lower_plan(plan, "column-store")
+    n_logical = L.count_operators(plan)
+    n_physical = count_physical_operators(physical)
+    n_fused = sum(len(p.fused) for p in walk_physical(physical))
+    assert n_physical + n_fused == n_logical
+    assert n_fused > 0
+
+
+def test_engine_lower_is_cached(column_setup):
+    engine, catalog = column_setup
+    plan = build_query(catalog, "q1")
+    assert engine.lower(plan) is engine.lower(plan)
+    assert engine.executor() is engine._executor
+
+
+def test_output_columns_match_logical(row_setup):
+    engine, catalog = row_setup
+    plan = build_query(catalog, "q5")
+    physical = engine.lower(plan)
+    assert physical.output_columns() == plan.output_columns()
+
+
+# ---------------------------------------------------------------------------
+# execution entry points
+# ---------------------------------------------------------------------------
+
+def test_execute_plan_matches_engine_run(column_setup):
+    engine, catalog = column_setup
+    plan = build_query(catalog, "q1")
+    engine.make_cold()
+    via_run, timing = run_plan(engine, plan)
+    engine.make_cold()
+    via_execute = execute_plan(engine, plan)
+    assert timing.real_seconds > 0
+    assert via_run.sorted_tuples() == via_execute.sorted_tuples()
+
+
+def test_build_physical_query(row_setup):
+    engine, catalog = row_setup
+    physical = build_physical_query(catalog, engine, "q1")
+    assert isinstance(physical, PhysicalPlan)
+    assert physical is engine.lower(build_query(catalog, "q1")) or (
+        physical.op.engine == "row-store"
+    )
+
+
+def test_row_join_strategy_knob(row_setup, dataset):
+    """The ablation bench's engine._executor.join_strategy hook still
+    selects the join method (and changes the simulated cost)."""
+    engine = RowStoreEngine()
+    catalog = build_vertical_store(
+        engine, dataset.triples, dataset.interesting_properties
+    )
+    plan = build_query(catalog, "q5")
+    timings = {}
+    for strategy in ("hash", "inl"):
+        engine._executor.join_strategy = strategy
+        engine.make_cold()
+        _, timing = engine.run(plan)
+        timings[strategy] = timing.real_seconds
+    engine._executor.join_strategy = "auto"
+    assert timings["hash"] != timings["inl"]
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def test_render_physical_plan(column_setup):
+    engine, catalog = column_setup
+    text = render_physical_plan(engine.lower(build_query(catalog, "q2")))
+    assert "scan+select [column-store]" in text
+    assert "::" in text
+    assert "Scan triples" in text
+
+
+def test_render_physical_elides_union_branches(row_setup):
+    engine, catalog = row_setup
+    text = render_physical_plan(
+        engine.lower(build_query(catalog, "q2", scope="all")),
+        max_union_branches=2,
+    )
+    assert "more union branches" in text
+
+
+# ---------------------------------------------------------------------------
+# physical linting
+# ---------------------------------------------------------------------------
+
+def test_lint_physical_clean_on_benchmark_plans(column_setup):
+    engine, catalog = column_setup
+    for name in ("q1", "q5"):
+        diagnostics = lint_physical_plan(
+            engine.lower(build_query(catalog, name))
+        )
+        assert not [d for d in diagnostics if d.severity == ERROR]
+
+
+def test_lint_physical_includes_logical_findings(column_setup):
+    from repro.analysis import lint_plan
+
+    engine, catalog = column_setup
+    plan = build_query(catalog, "q1")
+    logical_keys = {
+        (d.rule, d.path, d.message) for d in lint_plan(plan)
+    }
+    physical_keys = {
+        (d.rule, d.path, d.message)
+        for d in lint_physical_plan(engine.lower(plan))
+    }
+    assert logical_keys <= physical_keys
+
+
+def test_lint_flags_wrong_engine_operator(column_setup):
+    engine, catalog = column_setup
+    physical = engine.lower(build_query(catalog, "q1"))
+    row_op = engine_ops("row-store").rules[0]
+    # Rebind one node to an operator from the other engine's registry.
+    wrong = PhysicalPlan(
+        row_op, physical.engine, physical.logical,
+        children=physical.children, fused=physical.fused,
+    )
+    diagnostics = lint_physical_plan(wrong)
+    flagged = [d for d in diagnostics if d.rule == "wrong-engine-operator"]
+    assert flagged and flagged[0].severity == ERROR
+    assert "row-store" in flagged[0].message
+
+
+def test_lint_flags_mixed_engine_tree(row_setup):
+    engine, catalog = row_setup
+    physical = engine.lower(build_query(catalog, "q1"))
+    child = physical.children[0]
+    # An internally-consistent column-store node inside a row-store tree:
+    # op.engine matches the node's engine, but not the root's.
+    column_op = engine_ops("column-store").rules[0]
+    mixed_child = PhysicalPlan(
+        column_op, "column-store", child.logical,
+        children=child.children, fused=child.fused,
+    )
+    mixed = PhysicalPlan(
+        physical.op, physical.engine, physical.logical,
+        children=(mixed_child,) + physical.children[1:],
+        fused=physical.fused,
+    )
+    diagnostics = lint_physical_plan(mixed)
+    assert any(
+        d.rule == "wrong-engine-operator" and "mixes engines" in d.message
+        for d in diagnostics
+    )
+
+
+# ---------------------------------------------------------------------------
+# profiler integration
+# ---------------------------------------------------------------------------
+
+def test_profile_reports_physical_tree(dataset):
+    from repro.core.store import RDFStore
+
+    store = RDFStore(
+        [(t.s, t.p, t.o) for t in dataset.triples],
+        engine="column", scheme="vertical",
+    )
+    profile = store.profile("q1", mode="cold")
+    assert profile.physical is not None
+    text = profile.render()
+    assert "physical plan:" in text
+    document = profile.to_dict()
+    assert document["physical"]["engine"] == "column-store"
+    from repro.observe.profiler import validate_profile
+
+    validate_profile(document)
+
+
+def test_store_explain_physical(dataset):
+    from repro.core.store import RDFStore
+
+    from repro import Var
+
+    store = RDFStore(
+        [(t.s, t.p, t.o) for t in dataset.triples],
+        engine="row", scheme="vertical",
+    )
+    text = store.explain(
+        [(Var("s"), "<prop/0>", Var("o"))], physical=True
+    )
+    assert "physical plan:" in text
+    assert "[row-store]" in text
+
+
+# ---------------------------------------------------------------------------
+# runtime internals
+# ---------------------------------------------------------------------------
+
+def test_vector_intermediate_sortedness(column_setup):
+    from repro.exec import Intermediate
+    from repro.relation import Relation
+
+    rel = Relation({"a": np.array([1, 2], dtype=np.int64)})
+    inter = Intermediate(rel, sorted_by=["a"])
+    assert inter.sorted_by == ("a",)
+
+
+def test_lower_cache_evicts(column_setup):
+    from repro.exec.runtime import LOWER_CACHE_SIZE, Runtime
+
+    engine, catalog = column_setup
+    runtime = Runtime(engine)
+    plans = [
+        build_query(catalog, "q1") for _ in range(LOWER_CACHE_SIZE + 5)
+    ]
+    for plan in plans:
+        runtime.lower(plan)
+    assert len(runtime._lowered) <= LOWER_CACHE_SIZE

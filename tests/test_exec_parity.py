@@ -1,0 +1,96 @@
+"""Differential exec-parity suite (the unified layer's contract).
+
+The goldens in ``tests/data/exec_parity_goldens.json`` were captured from
+the legacy per-engine executors immediately before the unified execution
+layer replaced them.  This suite re-runs the full engine x scheme x query
+sweep (cold and hot) through the current tree and requires byte-identical
+result digests and bit-identical simulated timing fields.  A single extra
+or reordered clock charge anywhere in an operator fails here.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec.parity import (
+    PARITY_SCHEMA_VERSION,
+    compare_parity,
+    parity_cells,
+    parity_sweep,
+    result_digest,
+)
+
+GOLDENS = Path(__file__).parent / "data" / "exec_parity_goldens.json"
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(GOLDENS) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def sweep(goldens):
+    meta = goldens["meta"]
+    return parity_sweep(
+        n_triples=meta["n_triples"],
+        n_properties=meta["n_properties"],
+        seed=meta["seed"],
+        modes=tuple(meta["modes"]),
+    )
+
+
+def test_goldens_schema(goldens):
+    assert goldens["schema_version"] == PARITY_SCHEMA_VERSION
+    assert set(goldens["cells"]) == {
+        label for label, _, _ in parity_cells()
+    }
+
+
+def test_goldens_cover_all_queries_and_modes(goldens):
+    from repro.queries import ALL_QUERY_NAMES
+
+    for label, queries in goldens["cells"].items():
+        assert set(queries) == set(ALL_QUERY_NAMES), label
+        for query, modes in queries.items():
+            assert set(modes) == {"cold", "hot"}, (label, query)
+
+
+def test_exec_parity_full_sweep(goldens, sweep):
+    mismatches = compare_parity(goldens, sweep)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_parity_timings_are_exact_floats(goldens, sweep):
+    """Spot-check that the comparison really is bit-exact: the in-memory
+    floats match the JSON round-tripped goldens with == (repr round-trip
+    preserves every bit), not just approximately."""
+    for label, queries in goldens["cells"].items():
+        for query, modes in queries.items():
+            for mode, entry in modes.items():
+                actual = sweep["cells"][label][query][mode]["timing"]
+                for field, value in entry["timing"].items():
+                    assert actual[field] == value, (
+                        label, query, mode, field
+                    )
+
+
+def test_result_digest_is_order_insensitive():
+    from repro.relation import Relation
+
+    class _Identity:
+        def decode(self, oid):
+            return oid
+
+    import numpy as np
+
+    a = Relation(
+        {"x": np.array([3, 1, 2], dtype=np.int64)}, oid_columns=set()
+    )
+    b = Relation(
+        {"x": np.array([2, 3, 1], dtype=np.int64)}, oid_columns=set()
+    )
+    d = _Identity()
+    assert result_digest(a, d, ("x",)) == result_digest(b, d, ("x",))
+    assert result_digest(a, d, ("x",)).startswith("3:")
