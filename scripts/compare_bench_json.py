@@ -1,65 +1,88 @@
 #!/usr/bin/env python
-"""Compare two benchmark JSON documents, ignoring wall-clock metadata.
+"""Compare two benchmark JSON documents under the regression policies.
 
 Usage::
 
     python scripts/compare_bench_json.py serial.json parallel.json
+    python scripts/compare_bench_json.py --wall-gate --wall-tolerance 2.0 \\
+        baseline.json current.json
+    python scripts/compare_bench_json.py --json old.json new.json
 
 The documents are the ``repro bench --json`` output (a list of experiment
-results).  Simulated timings, tables and figure series must match exactly —
-only the ``meta`` block (wall-clock per cell, worker count) is allowed to
-differ between runs, so it is stripped before comparison.  Exit status 0
-means identical, 1 means a divergence (printed), 2 means usage error.
+results).  The comparison delegates to
+:mod:`repro.observe.regression`: simulated timings, tables and figure
+series must be **byte-identical** after stripping the ``meta`` blocks
+(wall-clock per cell, worker count); the summed wall-clock is reported
+informationally by default, or gated at ``--wall-tolerance`` (default
+1.5x) with ``--wall-gate``.  ``--json`` emits the machine-readable diff
+instead of text.
+
+Exit status 0 means no gate tripped, 1 means a regression (printed),
+2 means usage or input error.
 """
 
+import argparse
 import json
+import os
 import sys
 
+# Runnable from a checkout without an installed package.
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
 
-def strip_meta(document):
-    """Drop every ``meta`` key — the only run-dependent part of a result."""
-    if isinstance(document, dict):
-        return {
-            key: strip_meta(value)
-            for key, value in document.items()
-            if key != "meta"
-        }
-    if isinstance(document, list):
-        return [strip_meta(item) for item in document]
-    return document
+from repro.observe.regression import (  # noqa: E402
+    DEFAULT_WALL_TOLERANCE,
+    compare_bench_documents,
+)
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    with open(argv[1]) as handle:
-        left = strip_meta(json.load(handle))
-    with open(argv[2]) as handle:
-        right = strip_meta(json.load(handle))
-    if left == right:
-        print(f"identical (ignoring meta): {argv[1]} == {argv[2]}")
-        return 0
-    left_names = [r.get("name") for r in left] if isinstance(left, list) else []
-    right_names = (
-        [r.get("name") for r in right] if isinstance(right, list) else []
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="Compare two 'repro bench --json' documents: simulated "
+                    "results byte-identical, wall-clock under tolerance.",
     )
-    print(f"MISMATCH between {argv[1]} and {argv[2]}", file=sys.stderr)
-    if left_names != right_names:
-        print(f"  experiments: {left_names} vs {right_names}", file=sys.stderr)
-    elif isinstance(left, list):
-        for one, two in zip(left, right):
-            if one != two:
-                keys = [
-                    key for key in one
-                    if one.get(key) != two.get(key)
-                ]
-                print(
-                    f"  {one.get('name')}: differing keys {keys}",
-                    file=sys.stderr,
-                )
-    return 1
+    parser.add_argument("baseline", help="baseline bench JSON")
+    parser.add_argument("current", help="current bench JSON")
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=DEFAULT_WALL_TOLERANCE,
+        help="allowed wall-clock slowdown ratio (default %(default)s)",
+    )
+    parser.add_argument(
+        "--wall-gate", action="store_true",
+        help="fail when wall-clock exceeds the tolerance (default: "
+             "informational only, matching the old equality-only script)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as a JSON document on stdout",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.current) as handle:
+            current = json.load(handle)
+        comparison = compare_bench_documents(
+            baseline, current,
+            name=f"{args.baseline} vs {args.current}",
+            wall_tolerance=args.wall_tolerance,
+            wall_gate=args.wall_gate,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        stream = sys.stdout if comparison.ok else sys.stderr
+        print(comparison.render(), file=stream)
+    return 0 if comparison.ok else 1
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

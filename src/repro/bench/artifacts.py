@@ -214,6 +214,19 @@ def default_cache():
     return _DEFAULT_CACHE
 
 
+def cache_stats():
+    """Hit/miss/corrupt counters of the process-wide default cache.
+
+    Zeroes when the cache was never touched — the counters live on the
+    instance, so this never *creates* the cache just to report on it.
+    """
+    cache = _DEFAULT_CACHE
+    if cache is None:
+        return {"hits": 0, "misses": 0, "corrupt": 0}
+    return {"hits": cache.hits, "misses": cache.misses,
+            "corrupt": cache.corrupt}
+
+
 # ----------------------------------------------------------------------
 # artifact builders
 # ----------------------------------------------------------------------

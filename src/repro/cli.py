@@ -9,6 +9,11 @@
     python -m repro bench --experiment table6 --triples 60000
     python -m repro bench --list
     python -m repro profile q2 --engine column --mode cold
+    python -m repro profile q2 --trace-out q2.trace.json
+    python -m repro perf record --experiment figure6 --name fig6_smoke
+    python -m repro perf compare ci/BENCH_fig6_smoke_baseline.json \\
+        BENCH_fig6_smoke.json --wall-info
+    python -m repro perf report --name fig6_smoke
     python -m repro -v verify --triples 20000
     python -m repro analyze q5 --scheme triple
     python -m repro analyze all --strict
@@ -126,6 +131,87 @@ def build_parser():
         "--metrics", action="store_true",
         help="append the full metrics registry to the text report",
     )
+    profile.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write the span tree as Chrome trace-event JSON "
+             "(open in Perfetto or chrome://tracing)",
+    )
+    profile.add_argument(
+        "--prometheus-out", metavar="PATH", default=None,
+        help="also write the metrics registry in Prometheus text "
+             "exposition format",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="the performance observatory: record runs into the ledger, "
+             "compare snapshots under regression policies, report history",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    record = perf_sub.add_parser(
+        "record",
+        help="run an experiment, append a RunRecord to the ledger and "
+             "write a BENCH_<name>.json snapshot",
+    )
+    record.add_argument(
+        "--experiment", required=True,
+        help="experiment name or comma-separated list (same names as "
+             "'repro bench')",
+    )
+    record.add_argument("--name", default=None,
+                        help="run name (default: the experiment list)")
+    record.add_argument("--triples", type=int, default=60_000)
+    record.add_argument("--seed", type=int, default=42)
+    record.add_argument(
+        "--perf-dir", default=None,
+        help="ledger directory (default: REPRO_PERF_DIR or .repro/perf)",
+    )
+    record.add_argument(
+        "--snapshot-dir", default=".",
+        help="where BENCH_<name>.json is written (default: cwd)",
+    )
+    record.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk artifact cache",
+    )
+
+    compare = perf_sub.add_parser(
+        "compare",
+        help="compare two run snapshots; exits 1 when a regression gate "
+             "trips",
+    )
+    compare.add_argument("baseline", help="baseline BENCH_<name>.json")
+    compare.add_argument("current", help="current BENCH_<name>.json")
+    compare.add_argument(
+        "--wall-tolerance", type=float, default=None,
+        help="allowed wall-clock slowdown ratio (default 1.5)",
+    )
+    compare.add_argument(
+        "--wall-info", action="store_true",
+        help="report wall-clock but never gate on it (for noisy CI "
+             "runners; simulated costs stay byte-identity gated)",
+    )
+    compare.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as a JSON document",
+    )
+
+    report = perf_sub.add_parser(
+        "report", help="render the run-history ledger"
+    )
+    report.add_argument("--name", default=None,
+                        help="only runs with this name")
+    report.add_argument("--limit", type=int, default=20,
+                        help="most recent N entries (default 20)")
+    report.add_argument(
+        "--perf-dir", default=None,
+        help="ledger directory (default: REPRO_PERF_DIR or .repro/perf)",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the matching records as a JSON document",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -208,6 +294,7 @@ def main(argv=None):
         "verify": _command_verify,
         "analyze": _command_analyze,
         "lint": _command_lint,
+        "perf": _command_perf,
     }[args.command]
     return handler(args)
 
@@ -293,11 +380,8 @@ _EXPERIMENTS = {
 
 
 def _command_bench(args):
-    import inspect
     import json
     import os
-
-    from repro.bench import experiments
 
     if args.list or not args.experiment:
         for name in _EXPERIMENTS:
@@ -318,22 +402,7 @@ def _command_bench(args):
     if args.no_cache:
         os.environ["REPRO_CACHE_DISABLE"] = "1"
 
-    dataset = None  # generated once, shared by every requested experiment
-    results = []
-    for name in names:
-        function_name, needs_dataset = _EXPERIMENTS[name]
-        driver = getattr(experiments, function_name)
-        kwargs = {}
-        if args.jobs is not None:
-            if "jobs" in inspect.signature(driver).parameters:
-                kwargs["jobs"] = args.jobs
-        if needs_dataset:
-            if dataset is None:
-                dataset = _bench_dataset(args)
-            result = driver(dataset, **kwargs)
-        else:
-            result = driver(**kwargs)
-        results.extend(result if isinstance(result, list) else [result])
+    results = _run_experiments(names, args, jobs=args.jobs)
 
     if args.json != "-":
         for item in results:
@@ -351,6 +420,33 @@ def _command_bench(args):
             log.info("wrote %d experiment result(s) to %s",
                      len(results), args.json)
     return 0
+
+
+def _run_experiments(names, args, jobs=None):
+    """Run the named experiments; returns the flat result list.  Shared by
+    ``repro bench`` and ``repro perf record`` (*args* needs ``triples`` and
+    ``seed``)."""
+    import inspect
+
+    from repro.bench import experiments
+
+    dataset = None  # generated once, shared by every requested experiment
+    results = []
+    for name in names:
+        function_name, needs_dataset = _EXPERIMENTS[name]
+        driver = getattr(experiments, function_name)
+        kwargs = {}
+        if jobs is not None:
+            if "jobs" in inspect.signature(driver).parameters:
+                kwargs["jobs"] = jobs
+        if needs_dataset:
+            if dataset is None:
+                dataset = _bench_dataset(args)
+            result = driver(dataset, **kwargs)
+        else:
+            result = driver(**kwargs)
+        results.extend(result if isinstance(result, list) else [result])
+    return results
 
 
 def _bench_dataset(args):
@@ -396,12 +492,152 @@ def _store_from_args(args):
 
 
 def _command_profile(args):
+    import json
+
     store = _store_from_args(args)
     profile = store.profile(args.query, mode=args.mode)
     if args.json:
         print(profile.to_json())
     else:
         print(profile.render(with_metrics=args.metrics))
+    if args.trace_out:
+        document = profile.to_chrome_trace()
+        with open(args.trace_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        log.info(
+            "wrote %d trace event(s) to %s (open in https://ui.perfetto.dev)",
+            len(document["traceEvents"]), args.trace_out,
+        )
+    if args.prometheus_out:
+        from repro.observe.export import metrics_to_prometheus
+
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(metrics_to_prometheus(profile.registry))
+        log.info("wrote metrics exposition to %s", args.prometheus_out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# perf: the performance observatory
+# ---------------------------------------------------------------------------
+
+def _command_perf(args):
+    handler = {
+        "record": _command_perf_record,
+        "compare": _command_perf_compare,
+        "report": _command_perf_report,
+    }[args.perf_command]
+    return handler(args)
+
+
+def _command_perf_record(args):
+    import os
+
+    from repro.observe.history import (
+        RunLedger,
+        record_from_results,
+        reset_counters,
+        write_snapshot,
+    )
+
+    names = [n.strip() for n in args.experiment.split(",") if n.strip()]
+    if args.experiment == "all":
+        names = list(_EXPERIMENTS)
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        log.error(
+            "unknown experiment(s) %s; choose from %s",
+            ", ".join(map(repr, unknown)), ", ".join(_EXPERIMENTS),
+        )
+        return 2
+    if args.no_cache:
+        os.environ["REPRO_CACHE_DISABLE"] = "1"
+
+    run_name = args.name or "_".join(names)
+    # Serial on purpose: the process-wide counters (buffer pool, lowering
+    # cache, scheduler) only see work done in this process.
+    reset_counters()
+    results = _run_experiments(names, args, jobs=1)
+    record = record_from_results(
+        run_name, results,
+        parameters={
+            "experiments": names,
+            "triples": args.triples,
+            "seed": args.seed,
+        },
+    )
+    ledger = RunLedger(args.perf_dir)
+    ledger_path = ledger.append(record)
+    snapshot = write_snapshot(record, args.snapshot_dir)
+    wall = f"{record.wall_ms:.1f}ms" if record.wall_ms is not None else "n/a"
+    print(
+        f"recorded {run_name}: wall {wall}, "
+        f"fingerprint {record.config_fingerprint[:12]}\n"
+        f"  ledger   {ledger_path}\n"
+        f"  snapshot {snapshot}"
+    )
+    return 0
+
+
+def _command_perf_compare(args):
+    import json
+
+    from repro.observe.history import load_snapshot
+    from repro.observe.regression import (
+        DEFAULT_WALL_TOLERANCE,
+        compare_records,
+    )
+
+    try:
+        baseline = load_snapshot(args.baseline)
+        current = load_snapshot(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        log.error("cannot load snapshot: %s", exc)
+        return 2
+    tolerance = (
+        args.wall_tolerance if args.wall_tolerance is not None
+        else DEFAULT_WALL_TOLERANCE
+    )
+    comparison = compare_records(
+        baseline, current,
+        wall_tolerance=tolerance,
+        wall_gate=not args.wall_info,
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def _command_perf_report(args):
+    import json
+
+    from repro.observe.history import RunLedger
+
+    ledger = RunLedger(args.perf_dir)
+    records = ledger.records(name=args.name, limit=args.limit)
+    if args.json:
+        print(json.dumps(
+            [record.to_dict() for record in records],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    if not records:
+        print(f"no runs recorded in {ledger.path}")
+        return 0
+    print(f"{'recorded_at':<26} {'name':<24} {'sha':<8} "
+          f"{'fingerprint':<12} {'wall_ms':>10}")
+    for record in records:
+        sha = (record.git_sha or "-")[:8]
+        wall = (
+            f"{record.wall_ms:.1f}" if record.wall_ms is not None else "-"
+        )
+        print(
+            f"{record.recorded_at:<26} {record.name:<24} {sha:<8} "
+            f"{record.config_fingerprint[:12]:<12} {wall:>10}"
+        )
     return 0
 
 

@@ -25,6 +25,38 @@ from repro.observe.trace import NULL_OBSERVATION
 #: waiting for the data to be retrieved from disk").
 SCATTERED_BANDWIDTH_PENALTY = 4.0
 
+#: Process-wide always-on accounting, aggregated across every pool this
+#: process creates (benchmark cells deploy engines internally, so
+#: per-instance counters are unreachable after a run; the perf observatory
+#: reads this aggregate instead).  Plain int adds — negligible next to the
+#: page walk each read performs.
+GLOBAL_STATS = {
+    "page_hits": 0,
+    "page_misses": 0,
+    "evictions": 0,
+    "disk_requests": 0,
+    "bytes_transferred": 0,
+    "account_calls": 0,
+}
+
+
+def global_stats():
+    """Snapshot of the process-wide buffer-pool counters (a fresh dict)."""
+    return dict(GLOBAL_STATS)
+
+
+def reset_global_stats():
+    for key in GLOBAL_STATS:
+        GLOBAL_STATS[key] = 0
+
+
+def hit_ratio(stats):
+    """Page-hit ratio of a stats dict; ``None`` when no pages were read."""
+    touched = stats["page_hits"] + stats["page_misses"]
+    if not touched:
+        return None
+    return stats["page_hits"] / touched
+
 
 class BufferPool:
     """Page cache over a :class:`~repro.engine.disk.SimulatedDisk`."""
@@ -84,6 +116,10 @@ class BufferPool:
         self.eviction_count = 0
         self.request_count = 0
         self.bytes_transferred = 0
+
+    def hit_ratio(self):
+        """This pool's page-hit ratio (``None`` before any read)."""
+        return hit_ratio(self.stats())
 
     def resident_pages(self):
         return len(self._pages)
@@ -187,6 +223,11 @@ class BufferPool:
         self.miss_count += misses
         self.request_count += n_requests
         self.bytes_transferred += transferred
+        GLOBAL_STATS["page_hits"] += hits
+        GLOBAL_STATS["page_misses"] += misses
+        GLOBAL_STATS["disk_requests"] += n_requests
+        GLOBAL_STATS["bytes_transferred"] += transferred
+        GLOBAL_STATS["account_calls"] += 1
         if transferred:
             self.disk.record_read(
                 segment.name, transferred, n_requests,
@@ -273,6 +314,7 @@ class BufferPool:
         while len(self._pages) >= self.capacity_pages:
             self._pages.popitem(last=False)
             self.eviction_count += 1
+            GLOBAL_STATS["evictions"] += 1
             if self.observe.enabled:
                 self.observe.metrics.counter("buffer.evictions").inc()
         self._pages[page] = True

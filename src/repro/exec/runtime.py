@@ -33,6 +33,21 @@ from repro.relation import Relation
 #: the cache keeps plan objects alive so ids cannot be recycled).
 LOWER_CACHE_SIZE = 64
 
+#: Process-wide always-on lowering-cache accounting, aggregated over every
+#: Runtime this process creates (the perf observatory records it per run).
+#: Plain int adds on the lower() entry point — one per plan execution.
+LOWERING_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def lowering_cache_stats():
+    """Snapshot of the process-wide lowering-cache counters."""
+    return dict(LOWERING_STATS)
+
+
+def reset_lowering_cache_stats():
+    for key in LOWERING_STATS:
+        LOWERING_STATS[key] = 0
+
 
 class Intermediate:
     """A vector-engine relation in flight plus the sort order it is known
@@ -81,6 +96,9 @@ class Runtime:
         self.pool = engine.pool
         self.ops = engine_ops(engine.kind)
         self._lowered = {}  # id(plan) -> (plan, PhysicalPlan)
+        # Always-on per-runtime cache accounting (plain ints).
+        self.lower_hits = 0
+        self.lower_misses = 0
 
     # ------------------------------------------------------------------
     # lowering
@@ -90,12 +108,25 @@ class Runtime:
         """Physical tree for *plan* (cached by plan identity)."""
         cached = self._lowered.get(id(plan))
         if cached is not None:
+            self.lower_hits += 1
+            LOWERING_STATS["hits"] += 1
             return cached[1]
+        self.lower_misses += 1
+        LOWERING_STATS["misses"] += 1
         physical = lower_plan(plan, self.engine.kind)
         if len(self._lowered) >= LOWER_CACHE_SIZE:
             self._lowered.pop(next(iter(self._lowered)))
+            LOWERING_STATS["evictions"] += 1
         self._lowered[id(plan)] = (plan, physical)
         return physical
+
+    def lowering_cache_stats(self):
+        """This runtime's lowering-cache counters (a fresh dict)."""
+        return {
+            "hits": self.lower_hits,
+            "misses": self.lower_misses,
+            "size": len(self._lowered),
+        }
 
     # ------------------------------------------------------------------
     # entry point

@@ -12,7 +12,19 @@ Three layers, all zero-dependency and inert by default:
   Observation installed and render per-operator actual rows, estimated
   rows, I/O breakdown and buffer behaviour (``repro profile`` on the CLI).
 
-:mod:`repro.observe.log` holds the package's logging setup.
+The performance observatory builds on those layers:
+
+* :mod:`repro.observe.history` — the run-history ledger: every benchmark
+  or profile run recorded as a :class:`~repro.observe.history.RunRecord`
+  (JSONL under ``.repro/perf/`` plus ``BENCH_<name>.json`` snapshots),
+* :mod:`repro.observe.regression` — per-metric regression policies
+  (simulated costs byte-identical, wall-clock tolerance-gated, counters
+  informational) behind ``repro perf record / compare / report``,
+* :mod:`repro.observe.export` — Chrome trace-event JSON for Perfetto and
+  Prometheus text exposition of the metrics registry.
+
+:mod:`repro.observe.log` holds the package's logging setup (plain text or
+JSON lines carrying the active span id).
 """
 
 from repro.observe.log import configure_logging, get_logger
@@ -21,6 +33,7 @@ from repro.observe.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     format_key,
+    parse_key,
 )
 from repro.observe.trace import (
     NULL_OBSERVATION,
@@ -29,12 +42,15 @@ from repro.observe.trace import (
     Observation,
     Span,
     Tracer,
+    active_span_id,
 )
 
 __all__ = [
     "configure_logging",
     "get_logger",
     "format_key",
+    "parse_key",
+    "active_span_id",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
@@ -49,6 +65,20 @@ __all__ = [
     "profile_plan",
     "validate_profile",
     "PROFILE_SCHEMA_VERSION",
+    # provided lazily from the observatory modules:
+    "RunRecord",
+    "RunLedger",
+    "record_from_results",
+    "record_from_profile",
+    "write_snapshot",
+    "load_snapshot",
+    "compare_records",
+    "compare_bench_documents",
+    "PerfComparison",
+    "profile_to_chrome",
+    "chrome_trace_events",
+    "validate_trace",
+    "metrics_to_prometheus",
 ]
 
 _PROFILER_NAMES = {
@@ -58,12 +88,36 @@ _PROFILER_NAMES = {
     "PROFILE_SCHEMA_VERSION",
 }
 
+_LAZY_MODULES = {
+    "RunRecord": "history",
+    "RunLedger": "history",
+    "record_from_results": "history",
+    "record_from_profile": "history",
+    "write_snapshot": "history",
+    "load_snapshot": "history",
+    "compare_records": "regression",
+    "compare_bench_documents": "regression",
+    "PerfComparison": "regression",
+    "profile_to_chrome": "export",
+    "chrome_trace_events": "export",
+    "validate_trace": "export",
+    "metrics_to_prometheus": "export",
+}
+
 
 def __getattr__(name):
     # The profiler pulls in the planner/optimizer stack; load it only when
-    # asked so `import repro.engine` stays light.
+    # asked so `import repro.engine` stays light.  Same treatment for the
+    # observatory modules, which reach into bench/exec for counters.
     if name in _PROFILER_NAMES:
         from repro.observe import profiler
 
         return getattr(profiler, name)
+    if name in _LAZY_MODULES:
+        import importlib
+
+        module = importlib.import_module(
+            f"repro.observe.{_LAZY_MODULES[name]}"
+        )
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,15 +5,29 @@ Every module gets its logger via :func:`get_logger` (children of the
 mapping ``-v`` to DEBUG; library users can call it too or configure the
 ``repro`` logger with standard :mod:`logging` machinery instead.
 
+Two output formats:
+
+* the default human-readable ``LEVEL logger: message`` lines,
+* structured JSON lines (``configure_logging(json_lines=True)`` or
+  ``REPRO_LOG_JSON=1``): one JSON object per line carrying ``ts``,
+  ``level``, ``logger``, ``message`` and — when a
+  :class:`~repro.observe.trace.Tracer` is active — the ``span_id`` of the
+  innermost open span, so log lines correlate with exported traces.
+
 The handler resolves ``sys.stderr`` at emit time rather than capturing it
 at configure time, so output follows stream redirection (including pytest's
 ``capsys``).
 """
 
+import json
 import logging
+import os
 import sys
 
 _FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: Environment knob selecting the structured JSON-lines format.
+JSON_ENV = "REPRO_LOG_JSON"
 
 
 class _StderrHandler(logging.Handler):
@@ -26,6 +40,32 @@ class _StderrHandler(logging.Handler):
             self.handleError(record)
 
 
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per log record, correlated with the active span.
+
+    Fields: ``ts`` (unix seconds), ``level``, ``logger``, ``message``,
+    plus ``span_id`` when emitted inside a traced region — the same id the
+    Chrome trace export writes into each event's args, so a Perfetto span
+    and the log lines produced under it can be joined.
+    """
+
+    def format(self, record):
+        from repro.observe.trace import active_span_id
+
+        document = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span_id = active_span_id()
+        if span_id is not None:
+            document["span_id"] = span_id
+        if record.exc_info:
+            document["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True)
+
+
 def get_logger(name=None):
     """The ``repro`` logger, or the ``repro.<name>`` child."""
     if not name:
@@ -35,17 +75,32 @@ def get_logger(name=None):
     return logging.getLogger(name)
 
 
-def configure_logging(verbosity=0):
+def json_lines_default():
+    """Whether ``REPRO_LOG_JSON`` selects the structured format."""
+    return os.environ.get(JSON_ENV, "") not in ("", "0")
+
+
+def configure_logging(verbosity=0, json_lines=None):
     """Install the stderr handler on the ``repro`` root logger.
 
-    *verbosity* 0 shows INFO and above; 1+ shows DEBUG.  Idempotent: calling
-    again only adjusts the level.
+    *verbosity* 0 shows INFO and above; 1+ shows DEBUG.  *json_lines*
+    selects the structured JSON-lines format (``None`` defers to the
+    ``REPRO_LOG_JSON`` environment variable).  Idempotent: calling again
+    only adjusts the level and format.
     """
+    if json_lines is None:
+        json_lines = json_lines_default()
     logger = logging.getLogger("repro")
     logger.setLevel(logging.DEBUG if verbosity else logging.INFO)
-    if not any(isinstance(h, _StderrHandler) for h in logger.handlers):
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, _StderrHandler)), None
+    )
+    if handler is None:
         handler = _StderrHandler()
-        handler.setFormatter(logging.Formatter(_FORMAT))
         logger.addHandler(handler)
+    handler.setFormatter(
+        JsonLinesFormatter() if json_lines
+        else logging.Formatter(_FORMAT)
+    )
     logger.propagate = False
     return logger

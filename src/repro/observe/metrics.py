@@ -18,13 +18,61 @@ one attribute lookup and one no-op call.
 
 import json
 
+#: Characters that would make a ``name{k=v,...}`` key ambiguous if they
+#: appeared raw inside a label value; escaped with a backslash so two
+#: distinct label dicts can never collide on one key.
+_ESCAPED = ("\\", ",", "=", "{", "}")
+
+
+def _escape(text):
+    for ch in _ESCAPED:
+        text = text.replace(ch, "\\" + ch)
+    return text
+
 
 def format_key(name, labels):
-    """Canonical ``name{k=v,...}`` key for a labeled instrument."""
+    """Canonical ``name{k=v,...}`` key for a labeled instrument.
+
+    Label keys and values containing separator characters (``,``, ``=``,
+    braces, backslash) are backslash-escaped, so the mapping from
+    ``(name, labels)`` to key is injective — ``{"a": "1,b=2"}`` and
+    ``{"a": "1", "b": "2"}`` produce different keys.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(
+        f"{_escape(str(k))}={_escape(str(labels[k]))}" for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
+
+
+def parse_key(key):
+    """Invert :func:`format_key`: ``(name, labels)`` from a canonical key."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels = {}
+    part, field = [], []
+    target = part
+    escaped = False
+    for ch in inner:
+        if escaped:
+            target.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "=" and target is part:
+            field = []
+            target = field
+        elif ch == ",":
+            labels["".join(part)] = "".join(field)
+            part, field = [], []
+            target = part
+        else:
+            target.append(ch)
+    if part or field:
+        labels["".join(part)] = "".join(field)
+    return name, labels
 
 
 class Counter:
@@ -96,6 +144,36 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Estimated q-quantile (``0 <= q <= 1``) from the bucket counts.
+
+        Linear interpolation inside the containing bucket, clamped to the
+        observed ``[min, max]`` range so single-sample and narrow-range
+        histograms report exact values.  ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                low = 0.0 if index == 0 else float(4 ** index)
+                high = float(4 ** (index + 1))
+                low = max(low, self.min)
+                high = min(high, self.max)
+                if high <= low:
+                    value = low
+                else:
+                    fraction = max(0.0, target - cumulative) / n
+                    value = low + (high - low) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max
+
     def summary(self):
         return {
             "count": self.count,
@@ -103,6 +181,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {
                 f"<{4 ** (i + 1)}": n
                 for i, n in enumerate(self.buckets)

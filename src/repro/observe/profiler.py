@@ -287,6 +287,13 @@ class QueryProfile:
     def to_json(self, indent=2):
         return json.dumps(self.to_dict(), indent=indent)
 
+    def to_chrome_trace(self):
+        """The profile as a Chrome trace-event document (Perfetto-ready);
+        see :func:`repro.observe.export.profile_to_chrome`."""
+        from repro.observe.export import profile_to_chrome
+
+        return profile_to_chrome(self)
+
 
 # ---------------------------------------------------------------------------
 # running

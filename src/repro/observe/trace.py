@@ -23,10 +23,27 @@ When tracing is off, engines hold the shared :data:`NULL_TRACER`, whose
 methods are no-ops.
 """
 
+import itertools
 import time
 from contextlib import contextmanager
 
 from repro.observe.metrics import NULL_REGISTRY
+
+#: Monotonic span-id source: every Span gets a process-unique integer id so
+#: exported traces and structured log lines can correlate on it.
+_SPAN_IDS = itertools.count(1)
+
+#: Stack of tracers currently inside :meth:`Tracer.run` (innermost last);
+#: :func:`active_span_id` reads it so log lines can carry the span id.
+_ACTIVE_TRACERS = []
+
+
+def active_span_id():
+    """Span id of the innermost active span, or ``None`` outside tracing."""
+    if not _ACTIVE_TRACERS:
+        return None
+    span = _ACTIVE_TRACERS[-1].current_span()
+    return span.sid if span is not None else None
 
 #: Indices into a clock snapshot / span time vector.
 CPU, IO, BYTES, REQUESTS, SEEK, TRANSFER = range(6)
@@ -66,10 +83,11 @@ class Span:
 
     __slots__ = (
         "name", "detail", "attrs", "parent", "children", "calls", "rows",
-        "estimated_rows", "self_sim", "wall_self", "counts",
+        "estimated_rows", "self_sim", "wall_self", "counts", "sid",
     )
 
     def __init__(self, name, detail="", parent=None, attrs=None):
+        self.sid = next(_SPAN_IDS)
         self.name = name
         self.detail = detail
         self.attrs = dict(attrs) if attrs else {}
@@ -217,11 +235,16 @@ class Tracer:
     @contextmanager
     def run(self):
         """Bracket the whole measured region; root self-time catches every
-        charge not claimed by a nested span (planning, output, build)."""
+        charge not claimed by a nested span (planning, output, build).
+        While active, the tracer is registered so :func:`active_span_id`
+        (and through it the structured JSON logger) can name the span any
+        log line was emitted under."""
         self._push(self.root)
+        _ACTIVE_TRACERS.append(self)
         try:
             yield self.root
         finally:
+            _ACTIVE_TRACERS.remove(self)
             self._pop()
 
     @contextmanager

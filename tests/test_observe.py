@@ -16,6 +16,7 @@ from repro.observe import (
     configure_logging,
     format_key,
     get_logger,
+    parse_key,
 )
 
 
@@ -82,6 +83,73 @@ class TestMetrics:
         assert "counter   c = 3" in text
         assert "gauge     g = 7" in text
         assert "histogram h count=1" in text
+
+    def test_histogram_quantiles_empty(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) is None
+        summary = histogram.summary()
+        assert summary["p50"] is None
+        assert summary["p95"] is None
+        assert summary["p99"] is None
+
+    def test_histogram_quantiles_single_sample(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(42.0)
+        # With one observation every quantile is that observation.
+        assert histogram.quantile(0.0) == pytest.approx(42.0)
+        assert histogram.quantile(0.5) == pytest.approx(42.0)
+        assert histogram.quantile(1.0) == pytest.approx(42.0)
+
+    def test_histogram_quantiles_bounded_by_observations(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (10, 20, 30, 1000):
+            histogram.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            estimate = histogram.quantile(q)
+            assert 10 <= estimate <= 1000
+        assert histogram.quantile(1.0) == pytest.approx(1000)
+
+    def test_histogram_quantile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_label_values_cannot_collide(self):
+        # Without escaping, {"a": "1,b=2"} would render the same key as
+        # {"a": "1", "b": "2"}; the injective encoding keeps them apart.
+        tricky = format_key("m", {"a": "1,b=2"})
+        plain = format_key("m", {"a": "1", "b": "2"})
+        assert tricky != plain
+        registry = MetricsRegistry()
+        registry.counter("m", a="1,b=2").inc()
+        registry.counter("m", a="1", b="2").inc(5)
+        counters = registry.to_dict()["counters"]
+        assert sorted(counters.values()) == [1, 5]
+
+    def test_parse_key_inverts_format_key(self):
+        cases = [
+            ("plain", {}),
+            ("buffer.page_hits", {"segment": "triples.prop"}),
+            ("m", {"a": "1", "b": "2"}),
+            ("m", {"a": "1,b=2"}),
+            ("m", {"empty": ""}),
+            ("m", {"br{ace}": "va\\lue"}),
+        ]
+        for name, labels in cases:
+            key = format_key(name, labels)
+            assert parse_key(key) == (name, labels), key
+
+    def test_to_dict_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(3)
+        registry.gauge("g").set(-2)
+        registry.histogram("h", kind="x").observe(7.0)
+        document = registry.to_dict()
+        decoded = json.loads(json.dumps(document))
+        assert decoded == document
 
     def test_null_registry_is_inert(self):
         instrument = NULL_REGISTRY.counter("anything", label="x")
@@ -250,3 +318,53 @@ class TestLogging:
         captured = capsys.readouterr()
         assert "INFO repro.test: hello 7" in captured.err
         assert captured.out == ""
+
+
+class TestJsonLogging:
+    @pytest.fixture(autouse=True)
+    def _restore_plain_format(self):
+        yield
+        configure_logging(0, json_lines=False)
+
+    def test_json_lines_format(self, capsys):
+        configure_logging(0, json_lines=True)
+        get_logger("test").info("hello %d", 7)
+        line = capsys.readouterr().err.strip()
+        document = json.loads(line)
+        assert document["level"] == "INFO"
+        assert document["logger"] == "repro.test"
+        assert document["message"] == "hello 7"
+        assert isinstance(document["ts"], float)
+        assert "span_id" not in document
+
+    def test_json_lines_carry_active_span_id(self, capsys):
+        configure_logging(0, json_lines=True)
+        tracer = Tracer()
+        with tracer.run():
+            with tracer.span("scan") as span:
+                get_logger("test").info("inside the scan")
+        document = json.loads(capsys.readouterr().err.strip())
+        assert document["span_id"] == span.sid
+
+    def test_env_var_selects_json(self, monkeypatch, capsys):
+        from repro.observe.log import json_lines_default
+
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        assert json_lines_default()
+        configure_logging(0)  # json_lines=None defers to the env var
+        get_logger("test").info("structured")
+        assert json.loads(capsys.readouterr().err.strip())[
+            "message"
+        ] == "structured"
+        monkeypatch.setenv("REPRO_LOG_JSON", "0")
+        assert not json_lines_default()
+
+    def test_exceptions_are_captured(self, capsys):
+        configure_logging(0, json_lines=True)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("test").exception("it failed")
+        document = json.loads(capsys.readouterr().err.strip())
+        assert document["message"] == "it failed"
+        assert "RuntimeError: boom" in document["exc_info"]

@@ -115,6 +115,63 @@ class TestSchedulerMeta:
         meta = scheduler_meta([], jobs=None)
         assert meta["jobs"] == 1 and meta["wall_ms"] == 0
 
+    def test_meta_records_repeats(self, monkeypatch):
+        monkeypatch.setenv(scheduler.REPEATS_ENV, "3")
+        assert scheduler_meta([], jobs=1)["repeats"] == 3
+
+
+class TestRepeats:
+    def test_default_repeats(self, monkeypatch):
+        monkeypatch.delenv(scheduler.REPEATS_ENV, raising=False)
+        assert scheduler.default_repeats() == 1
+        monkeypatch.setenv(scheduler.REPEATS_ENV, "5")
+        assert scheduler.default_repeats() == 5
+        monkeypatch.setenv(scheduler.REPEATS_ENV, "junk")
+        assert scheduler.default_repeats() == 1
+        monkeypatch.setenv(scheduler.REPEATS_ENV, "0")
+        assert scheduler.default_repeats() == 1
+
+    def test_repeats_rerun_cell_and_keep_first_value(self, monkeypatch):
+        monkeypatch.setenv(scheduler.REPEATS_ENV, "4")
+        calls = []
+
+        def probe(dataset):
+            calls.append(dataset)
+            return len(calls)  # impure on purpose, to observe the re-runs
+
+        outcomes = run_cells([Cell(fn=probe, label="p")], dataset="d",
+                             jobs=1)
+        assert len(calls) == 4
+        # The reported value comes from the first run.
+        assert outcomes[0].value == 1
+        assert outcomes[0].wall_ms >= 0
+
+    def test_repeats_report_minimum_wall(self):
+        import time
+
+        sleeps = iter([0.02, 0.0, 0.0])
+
+        def uneven(dataset):
+            time.sleep(next(sleeps))
+            return 1
+
+        outcome = scheduler._run_cell(
+            Cell(fn=uneven, label="u"), "d", repeats=3
+        )
+        # min-of-N: the 20ms first run must not be the reported wall.
+        assert outcome.wall_ms < 20.0
+
+    def test_stats_accumulate(self, monkeypatch):
+        monkeypatch.delenv(scheduler.REPEATS_ENV, raising=False)
+        scheduler.reset_scheduler_stats()
+        run_cells([Cell(fn=_square, args=(2,))] * 3, dataset="d", jobs=1)
+        stats = scheduler.scheduler_stats()
+        assert stats["cells"] == 3
+        assert stats["repeats"] == 3
+        assert stats["wall_ms"] >= 0
+        scheduler.reset_scheduler_stats()
+        assert scheduler.scheduler_stats()["cells"] == 0
+
 
 class TestExperimentParity:
     """Parallel experiment drivers must be byte-identical to serial."""
