@@ -14,13 +14,39 @@ scratch in Python:
 * :mod:`repro.data` — the Barton-like synthetic dataset,
 * :mod:`repro.bench` — the cold/hot protocol and one experiment driver per
   table/figure of the paper.
+
+Beyond the paper, the stable query surface lives in :mod:`repro.api`
+(re-exported here)::
+
+    import repro
+
+    conn = repro.connect(triples=...)
+    with conn.session() as session:
+        result = session.query("q1")
+
+and :func:`repro.serve` / :mod:`repro.server` turn one deployment into a
+concurrent query server with workload replay.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import (
+    Connection,
+    Result,
+    Session,
+    connect,
+)
 from repro.core import RDFStore, Var
 from repro.data import generate_barton
+from repro.errors import (
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ServerOverloaded,
+    SessionClosed,
+)
 from repro.model import Triple, RDFGraph, parse_ntriples_text
+from repro.server import serve
 
 __all__ = [
     "RDFStore",
@@ -29,5 +55,15 @@ __all__ = [
     "RDFGraph",
     "generate_barton",
     "parse_ntriples_text",
+    "connect",
+    "Connection",
+    "Session",
+    "Result",
+    "serve",
+    "ReproError",
+    "QueryCancelled",
+    "QueryTimeout",
+    "SessionClosed",
+    "ServerOverloaded",
     "__version__",
 ]

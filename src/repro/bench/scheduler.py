@@ -31,6 +31,7 @@ it per invocation.
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -54,19 +55,23 @@ REPEATS_ENV = "REPRO_BENCH_REPEATS"
 #: Process-wide always-on scheduler accounting (cells executed, repeats
 #: performed, total wall-clock).  In-process for serial runs; parallel
 #: workers accumulate their own copies, so the perf observatory records
-#: runs serially.
+#: runs serially.  Lock-guarded: cells may also run on the query server's
+#: thread pool, where plain float/int ``+=`` loses updates.
 SCHEDULER_STATS = {"cells": 0, "repeats": 0, "wall_ms": 0.0}
+_SCHEDULER_STATS_LOCK = threading.Lock()
 
 
 def scheduler_stats():
     """Snapshot of the process-wide scheduler counters (a fresh dict)."""
-    return dict(SCHEDULER_STATS)
+    with _SCHEDULER_STATS_LOCK:
+        return dict(SCHEDULER_STATS)
 
 
 def reset_scheduler_stats():
-    SCHEDULER_STATS["cells"] = 0
-    SCHEDULER_STATS["repeats"] = 0
-    SCHEDULER_STATS["wall_ms"] = 0.0
+    with _SCHEDULER_STATS_LOCK:
+        SCHEDULER_STATS["cells"] = 0
+        SCHEDULER_STATS["repeats"] = 0
+        SCHEDULER_STATS["wall_ms"] = 0.0
 
 
 def default_repeats():
@@ -149,9 +154,11 @@ def _run_cell(cell, dataset, repeats=None):
             value = result
         if wall_ms is None or elapsed_ms < wall_ms:
             wall_ms = elapsed_ms
-        SCHEDULER_STATS["repeats"] += 1
-        SCHEDULER_STATS["wall_ms"] += elapsed_ms
-    SCHEDULER_STATS["cells"] += 1
+        with _SCHEDULER_STATS_LOCK:
+            SCHEDULER_STATS["repeats"] += 1
+            SCHEDULER_STATS["wall_ms"] += elapsed_ms
+    with _SCHEDULER_STATS_LOCK:
+        SCHEDULER_STATS["cells"] += 1
     return CellOutcome(cell.label, value, wall_ms)
 
 

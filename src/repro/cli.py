@@ -14,6 +14,10 @@
     python -m repro perf compare ci/BENCH_fig6_smoke_baseline.json \\
         BENCH_fig6_smoke.json --wall-info
     python -m repro perf report --name fig6_smoke
+    python -m repro serve --triples 20000 --port 8737 --workers 4
+    python -m repro replay --url http://127.0.0.1:8737 --clients 8
+    python -m repro replay --triples 20000 --clients 1 --queries 200 \\
+        --record replay_smoke
     python -m repro -v verify --triples 20000
     python -m repro analyze q5 --scheme triple
     python -m repro analyze all --strict
@@ -27,6 +31,22 @@ from repro import __version__
 from repro.observe.log import configure_logging, get_logger
 
 log = get_logger("cli")
+
+
+def _add_store_arguments(parser):
+    """The store-deployment options shared by serve/replay (the same set
+    profile/analyze take): load --data if given, else generate."""
+    parser.add_argument("--data", help="N-Triples file (default: generate)")
+    parser.add_argument("--triples", type=int, default=20_000)
+    parser.add_argument("--properties", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--engine", choices=("column", "row"), default="column"
+    )
+    parser.add_argument(
+        "--scheme", choices=("vertical", "triple"), default="vertical"
+    )
+    parser.add_argument("--clustering", default="PSO")
 
 
 def build_parser():
@@ -213,6 +233,90 @@ def build_parser():
         help="emit the matching records as a JSON document",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent query server (HTTP JSON API over one "
+             "shared store; see docs/serving.md)",
+    )
+    _add_store_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="listen port (0 picks a free port; default 8737)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="session worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission queue capacity; further queries get HTTP 429 "
+             "(default 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-query timeout in seconds (none by default)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a Zipf-skewed benchmark-query workload against a "
+             "server URL or an in-process store; reports p50/p95/p99 "
+             "latency and throughput",
+    )
+    _add_store_arguments(replay)
+    replay.add_argument(
+        "--url", default=None,
+        help="base URL of a running 'repro serve' (default: drive an "
+             "in-process store built from the store options)",
+    )
+    replay.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads (default 4)",
+    )
+    replay.add_argument(
+        "--queries", type=int, default=200,
+        help="total queries across all clients (default 200)",
+    )
+    replay.add_argument(
+        "--duration", type=float, default=None,
+        help="run for this many seconds instead of a fixed query count",
+    )
+    replay.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-query timeout in seconds",
+    )
+    replay.add_argument(
+        "--workload-seed", type=int, default=17,
+        help="RNG seed for the query mix (default 17; --seed seeds the "
+             "generated dataset)",
+    )
+    replay.add_argument(
+        "--exponent", type=float, default=1.0,
+        help="Zipf exponent of the query-frequency skew (default 1.0)",
+    )
+    replay.add_argument(
+        "--only", default=None,
+        help="comma-separated benchmark query subset (default: all)",
+    )
+    replay.add_argument(
+        "--record", metavar="NAME", default=None,
+        help="append the run to the perf ledger and write "
+             "BENCH_<NAME>.json",
+    )
+    replay.add_argument(
+        "--perf-dir", default=None,
+        help="ledger directory (default: REPRO_PERF_DIR or .repro/perf)",
+    )
+    replay.add_argument(
+        "--snapshot-dir", default=".",
+        help="where BENCH_<NAME>.json is written (default: cwd)",
+    )
+    replay.add_argument(
+        "--json", action="store_true",
+        help="emit the replay report as a JSON document",
+    )
+
     verify = sub.add_parser(
         "verify",
         help="cross-check every engine x scheme against the reference "
@@ -295,6 +399,8 @@ def main(argv=None):
         "analyze": _command_analyze,
         "lint": _command_lint,
         "perf": _command_perf,
+        "serve": _command_serve,
+        "replay": _command_replay,
     }[args.command]
     return handler(args)
 
@@ -331,32 +437,34 @@ def _command_generate(args):
 # ---------------------------------------------------------------------------
 
 def _command_query(args):
-    from repro.core import RDFStore
+    import repro.api as api
 
     with open(args.data) as handle:
         text = handle.read()
-    store = RDFStore.from_ntriples(
-        text,
+    connection = api.connect(
+        ntriples=text,
         engine=args.engine,
         scheme=args.scheme,
         clustering=args.clustering,
     )
 
-    if args.sparql:
-        for binding in store.sparql(args.sparql):
-            print("\t".join(f"?{k}={v}" for k, v in binding.items()))
-    elif args.sql:
-        for row in store.sql(args.sql):
-            print("\t".join(str(v) for v in row))
-    else:
-        rows, timing = store.benchmark_query(args.benchmark, mode=args.mode)
-        for row in rows:
-            print("\t".join(str(v) for v in row))
-        log.info(
-            "-- %s %s: real %.6fs, user %.6fs, %d bytes read",
-            args.benchmark, args.mode, timing.real_seconds,
-            timing.user_seconds, timing.bytes_read,
-        )
+    with connection.session() as session:
+        if args.sparql:
+            for binding in session.query(args.sparql).bindings():
+                print("\t".join(f"?{k}={v}" for k, v in binding.items()))
+        elif args.sql:
+            for row in session.query(args.sql):
+                print("\t".join(str(v) for v in row))
+        else:
+            result = session.query(args.benchmark, mode=args.mode)
+            for row in result:
+                print("\t".join(str(v) for v in row))
+            timing = result.cost
+            log.info(
+                "-- %s %s: real %.6fs, user %.6fs, %d bytes read",
+                args.benchmark, args.mode, timing.real_seconds,
+                timing.user_seconds, timing.bytes_read,
+            )
     return 0
 
 
@@ -495,7 +603,8 @@ def _command_profile(args):
     import json
 
     store = _store_from_args(args)
-    profile = store.profile(args.query, mode=args.mode)
+    with store.connection().session() as session:
+        profile = session.profile(args.query, mode=args.mode)
     if args.json:
         print(profile.to_json())
     else:
@@ -516,6 +625,91 @@ def _command_profile(args):
             handle.write(metrics_to_prometheus(profile.registry))
         log.info("wrote metrics exposition to %s", args.prometheus_out)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# serve / replay: the concurrent query server
+# ---------------------------------------------------------------------------
+
+def _command_serve(args):
+    from repro.server import QueryServer
+
+    store = _store_from_args(args)
+    server = QueryServer(
+        store.connection(),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout=args.timeout,
+    )
+    print(
+        f"serving {store.engine_kind}/{store.scheme} "
+        f"({store.n_triples} triples) at {server.address} "
+        f"[{args.workers} workers, queue {args.queue_depth}]"
+    )
+    print("POST /v1/query  GET /v1/stats  GET /metrics  (Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
+def _command_replay(args):
+    import json
+
+    from repro.server import ReplayConfig, record_from_replay, run_replay
+
+    names = None
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+    config = ReplayConfig(
+        clients=args.clients,
+        queries=args.queries,
+        duration=args.duration,
+        timeout=args.timeout,
+        seed=args.workload_seed,
+        exponent=args.exponent,
+        names=names,
+    )
+    if args.url:
+        report = run_replay(url=args.url, config=config)
+    else:
+        if args.record:
+            from repro.observe.history import reset_counters
+
+            reset_counters()
+        store = _store_from_args(args)
+        report = run_replay(connection=store.connection(), config=config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary_text())
+    if args.record:
+        from repro.observe.history import RunLedger, write_snapshot
+
+        record = record_from_replay(
+            report, name=args.record,
+            parameters={
+                "clients": args.clients,
+                "queries": args.queries,
+                "duration": args.duration,
+                "workload_seed": args.workload_seed,
+                "exponent": args.exponent,
+                "only": names,
+                "url": args.url,
+                "triples": None if args.url else args.triples,
+                "seed": None if args.url else args.seed,
+            },
+        )
+        ledger = RunLedger(args.perf_dir)
+        ledger_path = ledger.append(record)
+        snapshot = write_snapshot(record, args.snapshot_dir)
+        print(
+            f"recorded {args.record}: "
+            f"fingerprint {record.config_fingerprint[:12]}\n"
+            f"  ledger   {ledger_path}\n"
+            f"  snapshot {snapshot}"
+        )
+    return 1 if (report.failed or report.timeouts) else 0
 
 
 # ---------------------------------------------------------------------------

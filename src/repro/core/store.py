@@ -1,10 +1,22 @@
-"""The RDFStore facade."""
+"""The RDFStore facade.
+
+Construction and deployment (engine × scheme × clustering) live here; the
+*query* entry points (:meth:`RDFStore.sql`, :meth:`RDFStore.sparql`,
+:meth:`RDFStore.solve`) are thin deprecation shims over the stable public
+API in :mod:`repro.api` — new code should use
+``repro.api.connect(...).session().query(...)``, which adds sessions,
+timeouts, result objects carrying simulated costs, and a prepared-plan
+cache.  The shims delegate to an internal
+:class:`~repro.api.Connection`, so results and simulated costs are
+identical to the new surface by construction.
+"""
+
+import warnings
 
 from repro.bench.runner import BenchmarkRunner
 from repro.colstore import ColumnStoreEngine
 from repro.core.bgp import bgp_plan
 from repro.errors import StorageError
-from repro.exec import execute_plan
 from repro.model.parser import parse_ntriples_text
 from repro.model.triple import Variable
 from repro.plan.render import render_physical_plan, render_plan
@@ -83,6 +95,7 @@ class RDFStore:
             )
         self.n_triples = len(triples)
         self._runner = BenchmarkRunner(self.engine)
+        self._api_connection = None  # lazy repro.api.Connection
 
     # ------------------------------------------------------------------
     # constructors
@@ -106,11 +119,36 @@ class RDFStore:
         return cls(parse_ntriples_file(path), **options)
 
     # ------------------------------------------------------------------
-    # querying
+    # querying — deprecation shims over repro.api
     # ------------------------------------------------------------------
+
+    def connection(self):
+        """The store's :class:`repro.api.Connection` (created lazily).
+
+        The stable query surface: ``store.connection().session().query(...)``.
+        All sessions share this store's engine and buffer pool.
+        """
+        if self._api_connection is None:
+            from repro.api import Connection
+
+            self._api_connection = Connection(self)
+        return self._api_connection
+
+    @staticmethod
+    def _deprecated(old, new):
+        warnings.warn(
+            f"{old} is deprecated; use {new} (see docs/api.md)",
+            DeprecationWarning, stacklevel=3,
+        )
 
     def sql(self, sql_text, optimize=False):
         """Run SQL against the store; returns decoded row tuples.
+
+        .. deprecated:: 1.1
+           Thin shim over :meth:`repro.api.Session.query`; use
+           ``store.connection().session().query(sql)`` (or
+           :func:`repro.api.connect`) to also get simulated costs,
+           timeouts and profiles on the result.
 
         Against a vertical store, write SQL in triple-store terms and pass
         it through :func:`repro.sql.generate_vertical_sql` first, or query
@@ -120,21 +158,16 @@ class RDFStore:
         the join trees before execution (an extension; the benchmark tables
         always run the paper-shaped plans).
         """
-        plan = plan_sql(sql_text, self.catalog)
-        if optimize:
-            from repro.plan.optimizer import (
-                engine_stats_provider,
-                optimize_joins,
-            )
-
-            plan = optimize_joins(plan, engine_stats_provider(self.engine))
-        relation = execute_plan(self.engine, plan)
-        return relation.decoded_tuples(
-            self.catalog.dictionary, order=plan.output_columns()
-        )
+        self._deprecated("RDFStore.sql()", "repro.api Session.query()")
+        return self.connection().session().query(
+            sql_text, optimize=optimize
+        ).rows
 
     def solve(self, patterns, projection=None):
         """Evaluate a basic graph pattern; returns a list of binding dicts.
+
+        .. deprecated:: 1.1
+           Thin shim over :meth:`repro.api.Session.solve`.
 
         Patterns are ``(s, p, o)`` triples of constants and :class:`Var`
         terms, e.g.::
@@ -142,23 +175,20 @@ class RDFStore:
             store.solve([(Var("s"), "<type>", "<Text>"),
                          (Var("s"), "<language>", Var("lang"))])
         """
-        plan, names = bgp_plan(self.catalog, patterns, projection)
-        relation = execute_plan(self.engine, plan)
-        if not names:
-            # Fully-bound BGP: one empty binding per match.
-            return [{} for _ in range(relation.n_rows)]
-        rows = relation.decoded_tuples(self.catalog.dictionary, order=names)
-        return [dict(zip(names, row)) for row in rows]
+        return self.connection().session().solve(patterns, projection)
 
     def sparql(self, text):
         """Run a SPARQL SELECT over the store; returns binding dicts.
 
+        .. deprecated:: 1.1
+           Thin shim over :meth:`repro.api.Session.query`; use
+           ``store.connection().session().query(sparql).bindings()``.
+
         Supports the basic-graph-pattern fragment: ``SELECT [DISTINCT]
         ?vars|* WHERE { patterns . FILTER(...) } [LIMIT n]``.
         """
-        from repro.sparql import execute_sparql, parse_sparql
-
-        return execute_sparql(self.engine, self.catalog, parse_sparql(text))
+        self._deprecated("RDFStore.sparql()", "repro.api Session.query()")
+        return self.connection().session().query(text).bindings()
 
     def match(self, s=None, p=None, o=None):
         """All triples matching the given constants (None = wildcard)."""

@@ -12,6 +12,7 @@ array barely helps (Section 3, Figure 5).  Engines that scan sequentially
 with large requests run at the disk's sustained bandwidth.
 """
 
+import threading
 from collections import OrderedDict
 
 from repro.errors import BufferPoolError
@@ -28,8 +29,11 @@ SCATTERED_BANDWIDTH_PENALTY = 4.0
 #: Process-wide always-on accounting, aggregated across every pool this
 #: process creates (benchmark cells deploy engines internally, so
 #: per-instance counters are unreachable after a run; the perf observatory
-#: reads this aggregate instead).  Plain int adds — negligible next to the
-#: page walk each read performs.
+#: reads this aggregate instead).  Guarded by a lock: the query server's
+#: thread pool drives pools concurrently, and plain ``dict[k] += n`` is a
+#: read-modify-write that silently loses updates under interleaving.  Each
+#: ``read()`` takes the lock once, batching its deltas — negligible next
+#: to the page walk the read performs.
 GLOBAL_STATS = {
     "page_hits": 0,
     "page_misses": 0,
@@ -38,16 +42,19 @@ GLOBAL_STATS = {
     "bytes_transferred": 0,
     "account_calls": 0,
 }
+_GLOBAL_STATS_LOCK = threading.Lock()
 
 
 def global_stats():
     """Snapshot of the process-wide buffer-pool counters (a fresh dict)."""
-    return dict(GLOBAL_STATS)
+    with _GLOBAL_STATS_LOCK:
+        return dict(GLOBAL_STATS)
 
 
 def reset_global_stats():
-    for key in GLOBAL_STATS:
-        GLOBAL_STATS[key] = 0
+    with _GLOBAL_STATS_LOCK:
+        for key in GLOBAL_STATS:
+            GLOBAL_STATS[key] = 0
 
 
 def hit_ratio(stats):
@@ -90,6 +97,10 @@ class BufferPool:
         # Last page transferred from disk: a read continuing at the very
         # next page is sequential (readahead) and pays no new seek.
         self._last_disk_page = None
+        # Evictions since the last _account() flush to GLOBAL_STATS: the
+        # process-wide counters take their lock once per read, not once
+        # per evicted page.
+        self._unflushed_evictions = 0
 
     # ------------------------------------------------------------------
     # cache state management (cold/hot protocol)
@@ -223,11 +234,15 @@ class BufferPool:
         self.miss_count += misses
         self.request_count += n_requests
         self.bytes_transferred += transferred
-        GLOBAL_STATS["page_hits"] += hits
-        GLOBAL_STATS["page_misses"] += misses
-        GLOBAL_STATS["disk_requests"] += n_requests
-        GLOBAL_STATS["bytes_transferred"] += transferred
-        GLOBAL_STATS["account_calls"] += 1
+        evictions = self._unflushed_evictions
+        self._unflushed_evictions = 0
+        with _GLOBAL_STATS_LOCK:
+            GLOBAL_STATS["page_hits"] += hits
+            GLOBAL_STATS["page_misses"] += misses
+            GLOBAL_STATS["evictions"] += evictions
+            GLOBAL_STATS["disk_requests"] += n_requests
+            GLOBAL_STATS["bytes_transferred"] += transferred
+            GLOBAL_STATS["account_calls"] += 1
         if transferred:
             self.disk.record_read(
                 segment.name, transferred, n_requests,
@@ -314,7 +329,7 @@ class BufferPool:
         while len(self._pages) >= self.capacity_pages:
             self._pages.popitem(last=False)
             self.eviction_count += 1
-            GLOBAL_STATS["evictions"] += 1
+            self._unflushed_evictions += 1
             if self.observe.enabled:
                 self.observe.metrics.counter("buffer.evictions").inc()
         self._pages[page] = True

@@ -58,3 +58,35 @@ class BufferPoolError(EngineError):
 
 class BenchmarkError(ReproError):
     """A benchmark experiment was configured inconsistently."""
+
+
+class QueryCancelled(EngineError):
+    """Execution was cancelled cooperatively mid-query.
+
+    Raised by the unified runtime when a
+    :class:`~repro.exec.cancel.CancellationToken` installed by the caller
+    is set: the physical operator tree unwinds cleanly (buffer-pool and
+    catalog state stay consistent; only the in-flight relation is lost).
+    """
+
+
+class QueryTimeout(QueryCancelled):
+    """A query exceeded its deadline and was cancelled.
+
+    The session layer arms a timer for ``Session.query(..., timeout=)``;
+    when it fires, the in-flight query is cancelled at the next operator
+    boundary (or while still queued, if the server never started it).
+    """
+
+
+class SessionClosed(ReproError):
+    """A query was issued on a closed Session or Connection."""
+
+
+class ServerOverloaded(ReproError):
+    """The query server's admission queue is full (HTTP 429).
+
+    Backpressure is explicit: rather than queueing without bound, the
+    session scheduler rejects work beyond its configured queue depth and
+    the client is expected to retry or shed load.
+    """

@@ -1,0 +1,59 @@
+"""Cooperative query cancellation.
+
+The simulated engines are synchronous: once :meth:`Runtime.execute`
+starts, nothing preempts it.  Long-lived callers (the query server's
+per-query timeouts, interactive Ctrl-C handling) still need a way to stop
+a running query without corrupting shared state — the buffer pool is
+shared across sessions, so killing a thread mid-read is not an option.
+
+A :class:`CancellationToken` is the contract: the controller sets it (from
+any thread — a ``threading.Timer`` for deadlines, a signal handler, an
+admin endpoint) and the runtime polls it at operator boundaries (vector
+paradigm) or per tuple pull (pull paradigm), raising
+:class:`~repro.errors.QueryCancelled` so the physical tree unwinds through
+ordinary exception propagation.  Polling a pre-set flag costs one
+attribute read; no wall clock is consulted anywhere in the engine paths.
+"""
+
+import threading
+
+from repro.errors import QueryCancelled
+
+
+class CancellationToken:
+    """A one-shot, thread-safe cancellation flag.
+
+    ``cancel()`` may be called from any thread, any number of times; the
+    first call wins and its *reason* is what :meth:`raise_if_cancelled`
+    reports.  Tokens are single-use: create a fresh one per query.
+    """
+
+    __slots__ = ("_event", "_reason", "_lock")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._reason = None
+        self._lock = threading.Lock()
+
+    def cancel(self, reason="cancelled"):
+        """Request cancellation; returns True if this call was the first."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._reason = reason
+            self._event.set()
+            return True
+
+    def is_set(self):
+        return self._event.is_set()
+
+    @property
+    def reason(self):
+        return self._reason
+
+    def raise_if_cancelled(self):
+        """Raise :class:`QueryCancelled` when the token has been set."""
+        if self._event.is_set():
+            raise QueryCancelled(
+                f"query cancelled: {self._reason or 'cancelled'}"
+            )

@@ -24,6 +24,8 @@ physical children, which keeps recursion — and therefore tracing — in one
 place.
 """
 
+import threading
+
 from repro.errors import EngineError
 from repro.exec.registry import engine_ops, lower_plan
 from repro.plan import logical as L
@@ -35,18 +37,24 @@ LOWER_CACHE_SIZE = 64
 
 #: Process-wide always-on lowering-cache accounting, aggregated over every
 #: Runtime this process creates (the perf observatory records it per run).
-#: Plain int adds on the lower() entry point — one per plan execution.
+#: Guarded by a lock: the query server drives runtimes from a thread pool,
+#: and plain ``dict[k] += 1`` is a read-modify-write that loses updates
+#: under interleaving.  One uncontended lock per lower() call — one per
+#: plan execution — is noise next to the execution itself.
 LOWERING_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_LOWERING_STATS_LOCK = threading.Lock()
 
 
 def lowering_cache_stats():
     """Snapshot of the process-wide lowering-cache counters."""
-    return dict(LOWERING_STATS)
+    with _LOWERING_STATS_LOCK:
+        return dict(LOWERING_STATS)
 
 
 def reset_lowering_cache_stats():
-    for key in LOWERING_STATS:
-        LOWERING_STATS[key] = 0
+    with _LOWERING_STATS_LOCK:
+        for key in LOWERING_STATS:
+            LOWERING_STATS[key] = 0
 
 
 class Intermediate:
@@ -89,6 +97,13 @@ class Runtime:
     #: non-auto settings exist for the join-strategy ablation bench.
     join_strategy = "auto"
 
+    #: Cooperative cancellation: when a caller installs a
+    #: :class:`~repro.exec.cancel.CancellationToken` here, the runtime
+    #: polls it at every operator boundary (vector) / tuple pull (pull)
+    #: and raises :class:`~repro.errors.QueryCancelled` once set.  The
+    #: session layer serializes engine access, so one slot suffices.
+    cancel_token = None
+
     def __init__(self, engine):
         self.engine = engine
         self.costs = engine.costs
@@ -96,7 +111,8 @@ class Runtime:
         self.pool = engine.pool
         self.ops = engine_ops(engine.kind)
         self._lowered = {}  # id(plan) -> (plan, PhysicalPlan)
-        # Always-on per-runtime cache accounting (plain ints).
+        # Always-on per-runtime cache accounting (plain ints; mutated only
+        # under the owning session/connection's execution lock).
         self.lower_hits = 0
         self.lower_misses = 0
 
@@ -109,15 +125,19 @@ class Runtime:
         cached = self._lowered.get(id(plan))
         if cached is not None:
             self.lower_hits += 1
-            LOWERING_STATS["hits"] += 1
+            with _LOWERING_STATS_LOCK:
+                LOWERING_STATS["hits"] += 1
             return cached[1]
         self.lower_misses += 1
-        LOWERING_STATS["misses"] += 1
         physical = lower_plan(plan, self.engine.kind)
+        evicted = 0
         if len(self._lowered) >= LOWER_CACHE_SIZE:
             self._lowered.pop(next(iter(self._lowered)))
-            LOWERING_STATS["evictions"] += 1
+            evicted = 1
         self._lowered[id(plan)] = (plan, physical)
+        with _LOWERING_STATS_LOCK:
+            LOWERING_STATS["misses"] += 1
+            LOWERING_STATS["evictions"] += evicted
         return physical
 
     def lowering_cache_stats(self):
@@ -164,6 +184,9 @@ class Runtime:
         """Evaluate a vector operator, attributing its work to a trace
         span when an Observation is installed (children subtract
         themselves)."""
+        token = self.cancel_token
+        if token is not None:
+            token.raise_if_cancelled()
         observe = self.engine.observe
         if not observe.enabled:
             return pnode.op.fn(self, pnode, needed)
@@ -207,11 +230,24 @@ class Runtime:
         ``next()`` call; pulls from child streams (themselves wrapped)
         subtract automatically.
         """
+        token = self.cancel_token
+        if token is not None:
+            token.raise_if_cancelled()
         stream = pnode.op.fn(self, pnode)
+        if token is not None:
+            stream = Stream(
+                stream.columns, self._cancellable_iter(stream, token)
+            )
         observe = self.engine.observe
         if observe.enabled:
             return self._traced_stream(pnode.logical, stream, observe.tracer)
         return stream
+
+    @staticmethod
+    def _cancellable_iter(stream, token):
+        for row in stream:
+            token.raise_if_cancelled()
+            yield row
 
     def _traced_stream(self, node, stream, tracer):
         def generate():

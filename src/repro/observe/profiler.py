@@ -305,8 +305,11 @@ def profile_plan(engine, plan, mode="cold", query=""):
 
     *mode* follows the benchmark protocol: ``"cold"`` clears the buffer
     pool first; ``"hot"`` performs one unobserved warm-up run.
+    ``"current"`` does neither — the query runs against the buffer pool
+    exactly as it stands, which is how the session API profiles queries
+    inside a live server whose pool is shared across sessions.
     """
-    if mode not in ("cold", "hot"):
+    if mode not in ("cold", "hot", "current"):
         raise BenchmarkError(f"unknown mode {mode!r}")
 
     estimates = annotate_cardinalities(plan, engine_stats_provider(engine))
@@ -326,7 +329,7 @@ def profile_plan(engine, plan, mode="cold", query=""):
 
     if mode == "cold":
         engine.make_cold()
-    else:
+    elif mode == "hot":
         engine.run(plan)  # warm the buffer pool, unobserved
 
     engine.disk.reset_read_stats()

@@ -1,0 +1,341 @@
+"""Tests for the stable public facade (:mod:`repro.api`).
+
+Covers connect/session semantics, query classification, timeouts through
+the cooperative cancellation token, the prepared-plan cache, and the
+contract that the legacy ``RDFStore.sql/sparql/solve`` shims stay result-
+and cost-identical to the new surface.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.core import RDFStore, Var
+from repro.data import generate_barton
+from repro.errors import (
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    SessionClosed,
+)
+
+SCALE = dict(n_triples=4_000, n_properties=40, seed=11)
+
+SPARQL = "SELECT ?s WHERE { ?s <type> <Text> }"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_barton(**SCALE)
+
+
+@pytest.fixture(scope="module")
+def connection(dataset):
+    return api.connect(
+        triples=dataset.triples,
+        interesting_properties=dataset.interesting_properties,
+    )
+
+
+def fresh_connection(dataset, **options):
+    return api.connect(
+        triples=dataset.triples,
+        interesting_properties=dataset.interesting_properties,
+        **options,
+    )
+
+
+# ---------------------------------------------------------------------------
+# connect
+# ---------------------------------------------------------------------------
+
+class TestConnect:
+    def test_connect_wraps_existing_store(self, dataset):
+        store = RDFStore(dataset.triples)
+        conn = api.connect(store=store)
+        assert conn.store is store
+        assert conn.engine_kind == "column"
+        assert conn.scheme == "vertical"
+
+    def test_positional_store_dispatch(self, dataset):
+        store = RDFStore(dataset.triples)
+        assert api.connect(store).store is store
+
+    def test_exactly_one_source_required(self, dataset):
+        with pytest.raises(ReproError, match="exactly one"):
+            api.connect()
+        with pytest.raises(ReproError, match="exactly one"):
+            api.connect(
+                triples=dataset.triples,
+                ntriples="<a> <b> <c> .",
+            )
+
+    def test_connect_from_ntriples_text(self):
+        conn = api.connect(ntriples="<a> <p> <b> .\n<b> <p> <c> .\n")
+        assert conn.store.n_triples == 2
+
+    def test_closed_connection_rejects_queries(self, dataset):
+        conn = fresh_connection(dataset)
+        session = conn.session()
+        conn.close()
+        with pytest.raises(SessionClosed):
+            session.query("q1")
+        with pytest.raises(SessionClosed):
+            conn.session()
+
+    def test_top_level_reexports(self):
+        assert repro.connect is api.connect
+        assert repro.Connection is api.Connection
+        assert repro.Session is api.Session
+        assert repro.Result is api.Result
+        for name in ("connect", "serve", "QueryTimeout", "Result"):
+            assert name in repro.__all__
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+class TestClassifyQuery:
+    def test_benchmark_names(self):
+        assert api.classify_query("q1") == "benchmark"
+        assert api.classify_query("q2*") == "benchmark"
+
+    def test_sparql_and_sql(self):
+        assert api.classify_query(SPARQL) == "sparql"
+        assert api.classify_query("SELECT * FROM triples") == "sql"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ReproError, match="must be a string"):
+            api.classify_query([("?s", "<p>", "?o")])
+
+
+# ---------------------------------------------------------------------------
+# sessions and results
+# ---------------------------------------------------------------------------
+
+class TestSession:
+    def test_benchmark_query_result(self, connection):
+        result = connection.session().query("q1")
+        assert result.kind == "benchmark"
+        assert result.n_rows == len(result.rows) > 0
+        assert result.columns
+        assert result.cost.real_seconds > 0
+        assert result.profile is None
+
+    def test_sparql_result_bindings(self, connection):
+        result = connection.session().query(SPARQL)
+        assert result.kind == "sparql"
+        bindings = result.bindings()
+        assert len(bindings) == result.n_rows
+        assert all(set(b) == {"s"} for b in bindings)
+
+    def test_result_is_iterable_and_sized(self, connection):
+        result = connection.session().query("q1")
+        assert len(list(result)) == len(result)
+
+    def test_result_to_dict_is_json_ready(self, connection):
+        document = connection.session().query("q1").to_dict()
+        json.dumps(document)  # must not raise
+        assert set(document) == {
+            "query", "kind", "columns", "rows", "n_rows", "cost",
+        }
+        assert set(document["cost"]) == {
+            "real_seconds", "user_seconds", "seek_seconds",
+            "transfer_seconds", "bytes_read", "io_requests",
+        }
+
+    def test_solve_matches_query(self, connection):
+        bindings = connection.session().solve(
+            [(Var("s"), "<type>", "<Text>")]
+        )
+        assert sorted(b["s"] for b in bindings) == sorted(
+            b["s"] for b in connection.session().query(SPARQL).bindings()
+        )
+
+    def test_closed_session_rejects_queries(self, connection):
+        session = connection.session()
+        session.close()
+        assert session.closed
+        with pytest.raises(SessionClosed):
+            session.query("q1")
+
+    def test_session_context_manager(self, connection):
+        with connection.session() as session:
+            session.query("q1")
+        assert session.closed
+
+    def test_unknown_mode_rejected(self, connection):
+        with pytest.raises(ReproError, match="unknown mode"):
+            connection.session().query("q1", mode="lukewarm")
+
+    def test_profile_mode(self, connection):
+        result = connection.session().query("q2", profile=True)
+        assert result.profile is not None
+        assert result.profile.timing.real_seconds == \
+            result.cost.real_seconds
+
+    def test_explain_renders_plans(self, connection):
+        text = connection.session().explain("q1", physical=True)
+        assert "physical plan:" in text
+
+    def test_lint_strict_on_clean_query(self, connection):
+        result = connection.session().query("q1", lint="strict")
+        assert result.n_rows > 0
+
+
+class TestPlanCache:
+    def test_repeated_queries_share_the_plan_object(self, dataset):
+        conn = fresh_connection(dataset)
+        _, plan_a, _ = conn._plan_for("q1")
+        _, plan_b, _ = conn._plan_for("q1")
+        assert plan_a is plan_b
+
+    def test_cache_key_separates_variants(self, dataset):
+        conn = fresh_connection(dataset, scheme="triple")
+        sql = "SELECT A.subj FROM triples AS A WHERE A.prop = '<type>'"
+        _, plain, _ = conn._plan_for(sql)
+        _, optimized, _ = conn._plan_for(sql, optimize=True)
+        assert plain is not optimized
+
+
+# ---------------------------------------------------------------------------
+# timeouts / cancellation
+# ---------------------------------------------------------------------------
+
+class _InstantTimer:
+    """threading.Timer stand-in that fires synchronously on start() —
+    makes deadline expiry deterministic instead of racing the query."""
+
+    def __init__(self, interval, function, args=None, kwargs=None):
+        self.function = function
+        self.args = args or ()
+        self.kwargs = kwargs or {}
+        self.daemon = True
+
+    def start(self):
+        self.function(*self.args, **self.kwargs)
+
+    def cancel(self):
+        pass
+
+
+class TestTimeouts:
+    def test_expired_deadline_raises_query_timeout(self, dataset,
+                                                   monkeypatch):
+        conn = fresh_connection(dataset)
+        monkeypatch.setattr(threading, "Timer", _InstantTimer)
+        with pytest.raises(QueryTimeout, match="exceeded timeout"):
+            conn.session().query("q5", timeout=0.001)
+
+    def test_engine_stays_usable_after_timeout(self, dataset, monkeypatch):
+        conn = fresh_connection(dataset)
+        monkeypatch.setattr(threading, "Timer", _InstantTimer)
+        with pytest.raises(QueryTimeout):
+            conn.session().query("q5", timeout=0.001)
+        monkeypatch.undo()
+        result = conn.session().query("q5")
+        assert result.n_rows > 0
+
+    def test_nonpositive_timeout_never_starts(self, connection):
+        with pytest.raises(QueryTimeout, match="never started"):
+            connection.session().query("q1", timeout=0)
+
+    def test_generous_timeout_completes(self, connection):
+        assert connection.session().query("q1", timeout=60).n_rows > 0
+
+    def test_session_default_timeout_applies(self, dataset, monkeypatch):
+        conn = fresh_connection(dataset)
+        monkeypatch.setattr(threading, "Timer", _InstantTimer)
+        session = conn.session(default_timeout=0.001)
+        with pytest.raises(QueryTimeout):
+            session.query("q5")
+
+    def test_cancelled_token_unwinds_the_runtime(self, dataset):
+        from repro.exec.cancel import CancellationToken
+
+        conn = fresh_connection(dataset)
+        engine = conn.store.engine
+        runtime = engine.executor()
+        _, plan, _ = conn._plan_for("q1")
+        token = CancellationToken()
+        token.cancel(reason="test")
+        runtime.cancel_token = token
+        try:
+            with pytest.raises(QueryCancelled):
+                engine.run(plan)
+        finally:
+            runtime.cancel_token = None
+        # the engine recovers fully once the token is cleared
+        relation, _timing = engine.run(plan)
+        assert relation.n_rows > 0
+
+    def test_timeout_is_a_cancellation(self):
+        assert issubclass(QueryTimeout, QueryCancelled)
+
+
+# ---------------------------------------------------------------------------
+# shim parity: the deprecated RDFStore surface delegates to repro.api
+# ---------------------------------------------------------------------------
+
+class TestShimParity:
+    def test_sql_shim_warns_and_matches(self, dataset):
+        store = RDFStore(
+            dataset.triples, scheme="triple",
+            interesting_properties=dataset.interesting_properties,
+        )
+        sql = "SELECT A.subj, A.obj FROM triples AS A WHERE A.prop = '<type>'"
+        with pytest.warns(DeprecationWarning, match="RDFStore.sql"):
+            shim_rows = store.sql(sql)
+        api_rows = store.connection().session().query(sql).rows
+        assert shim_rows == api_rows
+
+    def test_sparql_shim_warns_and_matches(self, dataset):
+        store = RDFStore(
+            dataset.triples,
+            interesting_properties=dataset.interesting_properties,
+        )
+        with pytest.warns(DeprecationWarning, match="RDFStore.sparql"):
+            shim = store.sparql(SPARQL)
+        assert shim == store.connection().session().query(SPARQL).bindings()
+
+    def test_solve_shim_matches(self, dataset):
+        store = RDFStore(
+            dataset.triples,
+            interesting_properties=dataset.interesting_properties,
+        )
+        patterns = [(Var("s"), "<type>", Var("c"))]
+        assert store.solve(patterns) == \
+            store.connection().session().solve(patterns)
+
+    def test_benchmark_costs_match_on_exec_parity_cells(self, dataset):
+        """Session.query(mode=...) reproduces RDFStore.benchmark_query's
+        simulated timings bit-for-bit on the goldens' engine x scheme
+        cells (fresh stores on both sides, same protocol)."""
+        build = dict(
+            triples=dataset.triples,
+            interesting_properties=dataset.interesting_properties,
+        )
+        for engine, scheme in (
+            ("column", "vertical"), ("column", "triple"),
+            ("row", "vertical"), ("row", "triple"),
+        ):
+            legacy = RDFStore(engine=engine, scheme=scheme, **build)
+            conn = api.connect(engine=engine, scheme=scheme, **build)
+            for name in ("q1", "q2", "q5"):
+                for mode in ("cold", "hot"):
+                    _rows, timing = legacy.benchmark_query(name, mode=mode)
+                    result = conn.session().query(name, mode=mode)
+                    assert result.cost.real_seconds == \
+                        timing.real_seconds, (engine, scheme, name, mode)
+                    assert result.cost_dict() == {
+                        "real_seconds": timing.real_seconds,
+                        "user_seconds": timing.user_seconds,
+                        "seek_seconds": timing.seek_seconds,
+                        "transfer_seconds": timing.transfer_seconds,
+                        "bytes_read": timing.bytes_read,
+                        "io_requests": timing.io_requests,
+                    }, (engine, scheme, name, mode)

@@ -1,0 +1,448 @@
+"""Tests for the concurrent query server and workload replay.
+
+Exercises the session scheduler (admission control, deadlines, drain
+shutdown), the HTTP front-end end-to-end over real sockets, and the
+replay harness — including the acceptance contract that a serial
+single-client replay's simulated per-query costs are byte-identical to
+direct ``Session.query`` execution.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.api as api
+from repro.data import generate_barton
+from repro.errors import QueryTimeout, ServerOverloaded, SessionClosed
+from repro.server import (
+    QueryServer,
+    ReplayConfig,
+    SchedulerConfig,
+    SessionScheduler,
+    WorkloadMix,
+    record_from_replay,
+    run_replay,
+    serve,
+)
+
+SCALE = dict(n_triples=3_000, n_properties=30, seed=7)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_barton(**SCALE)
+
+
+def fresh_connection(dataset):
+    return api.connect(
+        triples=dataset.triples,
+        interesting_properties=dataset.interesting_properties,
+    )
+
+
+def post_query(url, body):
+    """POST /v1/query; returns (status, document) without raising."""
+    request = urllib.request.Request(
+        url.rstrip("/") + "/v1/query",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+# ---------------------------------------------------------------------------
+# the session scheduler
+# ---------------------------------------------------------------------------
+
+class TestSessionScheduler:
+    def test_execute_returns_results(self, dataset):
+        scheduler = SessionScheduler(fresh_connection(dataset))
+        try:
+            result = scheduler.execute("q1")
+            assert result.n_rows > 0
+            assert result.cost.real_seconds > 0
+        finally:
+            scheduler.shutdown()
+
+    def test_concurrent_submissions_all_complete(self, dataset):
+        scheduler = SessionScheduler(
+            fresh_connection(dataset),
+            SchedulerConfig(workers=4, queue_depth=64),
+        )
+        try:
+            requests = [
+                scheduler.submit(name)
+                for name in ("q1", "q2", "q3", "q5", "q1", "q2") * 4
+            ]
+            for request in requests:
+                assert request.done.wait(timeout=60)
+                assert request.error is None
+            stats = scheduler.stats()
+            completed = stats["counters"]["server.queries{outcome=completed}"]
+            assert completed == len(requests)
+        finally:
+            scheduler.shutdown()
+
+    def test_admission_control_rejects_when_full(self, dataset):
+        connection = fresh_connection(dataset)
+        scheduler = SessionScheduler(
+            connection, SchedulerConfig(workers=1, queue_depth=2)
+        )
+        try:
+            # Park the single worker by holding the execution lock, so
+            # submissions pile up deterministically.
+            with connection._exec_lock:
+                first = scheduler.submit("q1")   # worker picks this up
+                # Let the worker dequeue the first request before filling
+                # the queue behind it.
+                deadline = threading.Event()
+                for _ in range(100):
+                    if scheduler._queue.qsize() == 0:
+                        break
+                    deadline.wait(0.01)
+                queued = [scheduler.submit("q1"), scheduler.submit("q1")]
+                with pytest.raises(ServerOverloaded, match="queue full"):
+                    scheduler.submit("q1")
+            for request in [first] + queued:
+                assert request.done.wait(timeout=60)
+                assert request.error is None
+            stats = scheduler.stats()
+            assert stats["counters"]["server.admission{outcome=rejected}"] == 1
+            assert stats["counters"]["server.admission{outcome=accepted}"] == 3
+        finally:
+            scheduler.shutdown()
+
+    def test_deadline_expired_while_queued(self, dataset):
+        connection = fresh_connection(dataset)
+        scheduler = SessionScheduler(
+            connection, SchedulerConfig(workers=1, queue_depth=8)
+        )
+        try:
+            with connection._exec_lock:
+                blocker = scheduler.submit("q1")
+                doomed = scheduler.submit("q2", timeout=0.05)
+                # Hold the lock well past the doomed request's deadline.
+                doomed.done.wait(timeout=0)
+                threading.Event().wait(0.2)
+            assert blocker.done.wait(timeout=60)
+            assert doomed.done.wait(timeout=60)
+            assert isinstance(doomed.error, QueryTimeout)
+            assert "while queued" in str(doomed.error)
+        finally:
+            scheduler.shutdown()
+
+    def test_latency_summary_reports_percentiles(self, dataset):
+        scheduler = SessionScheduler(fresh_connection(dataset))
+        try:
+            for _ in range(5):
+                scheduler.execute("q1")
+            summary = scheduler.latency_summary()
+            assert summary["count"] == 5
+            assert summary["p50"] is not None
+            assert summary["p95"] is not None
+            assert summary["p99"] is not None
+        finally:
+            scheduler.shutdown()
+
+    def test_graceful_shutdown_drains_in_flight(self, dataset):
+        scheduler = SessionScheduler(
+            fresh_connection(dataset),
+            SchedulerConfig(workers=2, queue_depth=32),
+        )
+        requests = [scheduler.submit("q1") for _ in range(10)]
+        scheduler.shutdown(drain=True)
+        for request in requests:
+            assert request.done.is_set()
+            assert request.error is None
+        with pytest.raises(SessionClosed):
+            scheduler.submit("q1")
+
+    def test_non_drain_shutdown_fails_queued(self, dataset):
+        connection = fresh_connection(dataset)
+        scheduler = SessionScheduler(
+            connection, SchedulerConfig(workers=1, queue_depth=32)
+        )
+        with connection._exec_lock:
+            requests = [scheduler.submit("q1") for _ in range(6)]
+            scheduler._accepting = False
+            # fail everything still queued, then release the lock
+            shutdown = threading.Thread(
+                target=scheduler.shutdown, kwargs={"drain": False}
+            )
+            shutdown.start()
+            for _ in range(100):
+                if sum(1 for r in requests if r.done.is_set()) >= 4:
+                    break
+                threading.Event().wait(0.01)
+        shutdown.join(timeout=30)
+        outcomes = [
+            type(r.error).__name__ if r.error else "ok" for r in requests
+        ]
+        assert outcomes.count("SessionClosed") >= 4
+        assert all(o in ("ok", "SessionClosed") for o in outcomes)
+
+
+# ---------------------------------------------------------------------------
+# the HTTP front-end
+# ---------------------------------------------------------------------------
+
+class TestQueryServer:
+    @pytest.fixture()
+    def server(self, dataset):
+        instance = serve(
+            fresh_connection(dataset), port=0, workers=3, queue_depth=16,
+            background=True,
+        )
+        yield instance
+        instance.close()
+
+    def test_query_roundtrip(self, server):
+        status, document = post_query(server.address, {"query": "q1"})
+        assert status == 200
+        assert document["kind"] == "benchmark"
+        assert document["n_rows"] == len(document["rows"]) > 0
+        assert document["cost"]["real_seconds"] > 0
+        assert document["queue_ms"] >= 0
+        assert document["exec_ms"] >= 0
+
+    def test_sparql_over_http(self, server):
+        status, document = post_query(
+            server.address,
+            {"query": "SELECT ?s WHERE { ?s <type> <Text> }"},
+        )
+        assert status == 200
+        assert document["kind"] == "sparql"
+        assert document["columns"] == ["s"]
+
+    def test_malformed_requests_get_400(self, server):
+        assert post_query(server.address, {})[0] == 400
+        assert post_query(server.address, {"query": "   "})[0] == 400
+        status, document = post_query(
+            server.address, {"query": "SELECT nonsense FROM nowhere"}
+        )
+        assert status == 400
+        assert "error" in document
+
+    def test_unknown_route_404(self, server):
+        try:
+            urllib.request.urlopen(server.address + "/nope", timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:
+            pytest.fail("expected 404")
+
+    def test_healthz_stats_metrics(self, server):
+        post_query(server.address, {"query": "q1"})
+        with urllib.request.urlopen(
+            server.address + "/healthz", timeout=10
+        ) as response:
+            assert json.loads(response.read()) == {"status": "ok"}
+        with urllib.request.urlopen(
+            server.address + "/v1/stats", timeout=10
+        ) as response:
+            stats = json.loads(response.read())
+        assert stats["live"]["workers"] == 3
+        assert stats["store"]["engine"] == "column"
+        assert "server.latency_ms" in stats["histograms"]
+        with urllib.request.urlopen(
+            server.address + "/metrics", timeout=10
+        ) as response:
+            exposition = response.read().decode("utf-8")
+        assert "server_latency_ms" in exposition
+
+    def test_sessions_lifecycle_and_defaults(self, server):
+        request = urllib.request.Request(
+            server.address + "/v1/sessions",
+            data=json.dumps({"timeout": 60}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 201
+            session_id = json.loads(response.read())["session"]
+        status, document = post_query(
+            server.address, {"query": "q1", "session": session_id}
+        )
+        assert status == 200
+        assert document["session"] == session_id
+        delete = urllib.request.Request(
+            f"{server.address}/v1/sessions/{session_id}", method="DELETE"
+        )
+        with urllib.request.urlopen(delete, timeout=10) as response:
+            assert json.loads(response.read())["closed"] is True
+        status, _ = post_query(
+            server.address, {"query": "q1", "session": session_id}
+        )
+        assert status == 404
+
+    def test_concurrent_http_clients(self, server):
+        outcomes = []
+        lock = threading.Lock()
+
+        def client(n):
+            for name in ("q1", "q2", "q3") * 2:
+                status, _ = post_query(server.address, {"query": name})
+                with lock:
+                    outcomes.append(status)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(outcomes) == 36
+        assert all(status == 200 for status in outcomes)
+        summary = server.scheduler.latency_summary()
+        assert summary["count"] == 36
+        assert summary["p95"] is not None
+
+    def test_graceful_close_drains(self, dataset):
+        instance = serve(
+            fresh_connection(dataset), port=0, workers=2, queue_depth=32,
+            background=True,
+        )
+        requests = [instance.scheduler.submit("q1") for _ in range(8)]
+        instance.close()
+        for request in requests:
+            assert request.done.is_set()
+            assert request.error is None
+        # idempotent
+        instance.close()
+
+    def test_server_is_context_manager(self, dataset):
+        with serve(
+            fresh_connection(dataset), port=0, background=True
+        ) as instance:
+            status, _ = post_query(instance.address, {"query": "q1"})
+            assert status == 200
+        assert instance._closed
+
+
+# ---------------------------------------------------------------------------
+# workload replay
+# ---------------------------------------------------------------------------
+
+class TestWorkloadMix:
+    def test_sampling_is_deterministic(self):
+        mix = WorkloadMix(seed=5)
+        assert mix.sample(50) == WorkloadMix(seed=5).sample(50)
+        assert mix.sample(50) != WorkloadMix(seed=6).sample(50)
+
+    def test_zipf_skew_prefers_head_queries(self):
+        mix = WorkloadMix(exponent=1.5, seed=1)
+        sample = mix.sample(2000)
+        counts = {name: sample.count(name) for name in mix.names}
+        assert counts[mix.names[0]] > counts[mix.names[-1]]
+
+    def test_unknown_names_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown benchmark queries"):
+            WorkloadMix(names=["q1", "q99"])
+
+
+class TestReplay:
+    def test_serial_replay_costs_match_direct_session(self, dataset):
+        """The acceptance contract: clients=1 replay produces simulated
+        per-query costs byte-identical to a direct Session.query loop on
+        an identically fresh store."""
+        config = ReplayConfig(clients=1, queries=30, seed=23)
+        report = run_replay(
+            connection=fresh_connection(dataset), config=config
+        )
+        assert report.failed == 0 and report.timeouts == 0
+        assert report.issued == 30
+        session = fresh_connection(dataset).session()
+        direct = [
+            {"query": name, "cost": session.query(name).cost_dict()}
+            for name in config.mix().sample(30)
+        ]
+        assert json.dumps(report.simulated, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+
+    def test_concurrent_replay_completes_cleanly(self, dataset):
+        report = run_replay(
+            connection=fresh_connection(dataset),
+            config=ReplayConfig(clients=8, queries=64, seed=3),
+        )
+        assert report.issued == 64
+        assert report.completed == 64
+        assert report.failed == 0
+        assert report.simulated is None  # interleaving-dependent
+        assert report.latency_ms["count"] == 64
+        assert report.latency_ms["p95"] is not None
+        assert report.latency_ms["p99"] is not None
+        assert report.throughput_qps > 0
+
+    def test_replay_against_http_server(self, dataset):
+        with serve(
+            fresh_connection(dataset), port=0, workers=3, queue_depth=8,
+            background=True,
+        ) as instance:
+            report = run_replay(
+                url=instance.address,
+                config=ReplayConfig(clients=4, queries=32, seed=9),
+            )
+        assert report.completed == 32
+        assert report.failed == 0
+
+    def test_replay_needs_exactly_one_target(self, dataset):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="exactly one"):
+            run_replay()
+
+    def test_duration_mode_runs_and_stops(self, dataset):
+        report = run_replay(
+            connection=fresh_connection(dataset),
+            config=ReplayConfig(clients=2, duration=0.5, seed=4),
+        )
+        assert report.issued > 0
+        assert report.failed == 0
+        assert report.simulated is None
+
+    def test_record_from_replay_serial(self, dataset):
+        config = ReplayConfig(clients=1, queries=10, seed=2)
+        report = run_replay(
+            connection=fresh_connection(dataset), config=config
+        )
+        record = record_from_replay(report, name="unit")
+        assert record.kind == "replay"
+        assert len(record.simulated) == 10
+        assert record.wall_ms is not None
+        assert "buffer_pool" in record.counters
+        # round-trips through the ledger schema
+        from repro.observe.history import RunRecord
+
+        assert RunRecord.from_dict(record.to_dict()).name == "unit"
+
+    def test_record_from_replay_concurrent_notes_omission(self, dataset):
+        report = run_replay(
+            connection=fresh_connection(dataset),
+            config=ReplayConfig(clients=3, queries=12, seed=2),
+        )
+        record = record_from_replay(report, name="unit")
+        assert record.simulated is None
+        assert any("interleaving" in note for note in record.notes)
+
+    def test_report_document_and_text(self, dataset):
+        report = run_replay(
+            connection=fresh_connection(dataset),
+            config=ReplayConfig(clients=2, queries=16, seed=6),
+        )
+        document = report.to_dict()
+        json.dumps(document)  # JSON-ready
+        assert document["completed"] == 16
+        text = report.summary_text()
+        assert "throughput" in text
+        assert "p95" in text
