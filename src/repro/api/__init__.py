@@ -66,10 +66,64 @@ __all__ = [
 ]
 
 #: Upper bound on cached logical plans per connection (prepared-statement
-#: cache; FIFO eviction).  Plans are immutable, so sharing one plan object
+#: cache; LRU eviction).  Plans are immutable, so sharing one plan object
 #: across repeated executions is sound and keeps the runtime's
 #: identity-keyed lowering cache hot.
 PLAN_CACHE_SIZE = 256
+
+
+class _LruCache:
+    """Least-recently-used map with hit/miss/eviction counters.
+
+    Backs the per-connection prepared-plan cache.  A ``get`` refreshes
+    recency; ``put`` is insert-if-absent (first build wins under races)
+    and evicts the least recently *used* entry when full — unlike the
+    FIFO this replaces, a hot plan is never evicted by a stream of
+    one-off queries.  Callers provide their own locking.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """The cached entry (refreshed as most-recent), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, entry):
+        """Insert *entry* unless *key* is already present; returns the
+        canonical (cached) entry either way."""
+        existing = self._entries.get(key)
+        if existing is not None:
+            return existing
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = entry
+        return entry
+
+    def stats(self):
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 #: Valid buffer-pool protocols for :meth:`Session.query`.
 _MODES = (None, "current", "cold", "hot")
@@ -349,7 +403,8 @@ class Connection:
         self.store = store
         self._exec_lock = threading.RLock()
         self._plan_lock = threading.Lock()
-        self._plans = OrderedDict()  # cache key -> (kind, plan, columns)
+        # cache key -> (kind, plan, columns)
+        self._plans = _LruCache(PLAN_CACHE_SIZE)
         self._closed = False
         self._session_counter = 0
 
@@ -416,15 +471,17 @@ class Connection:
         with self._plan_lock:
             cached = self._plans.get(key)
             if cached is not None:
-                self._plans.move_to_end(key)
                 return cached
         entry = self._build_plan(kind, text, optimize, scope)
         with self._plan_lock:
-            if key not in self._plans:
-                if len(self._plans) >= PLAN_CACHE_SIZE:
-                    self._plans.popitem(last=False)
-                self._plans[key] = entry
-            return self._plans[key]
+            return self._plans.put(key, entry)
+
+    def plan_cache_stats(self):
+        """Prepared-plan cache counters: size, capacity, hits, misses,
+        evictions.  Exposed through ``/v1/stats`` and the Prometheus
+        exporter of the query server."""
+        with self._plan_lock:
+            return self._plans.stats()
 
     def _build_plan(self, kind, text, optimize, scope):
         catalog = self.store.catalog

@@ -31,6 +31,12 @@ class ExperimentResult:
     ``meta`` carries measurement metadata (wall-clock milliseconds, worker
     count) that rides along in JSON twins but never appears in the rendered
     table/figure — parallel and serial runs render byte-identically.
+
+    ``storage`` carries the physical-design metrics of the deployments the
+    experiment measured — ``storage_bytes``, ``compression_ratio`` and
+    per-query ``bytes_scanned`` — so the BENCH JSON twins document the
+    footprint behind the timings (deterministic, hence part of the
+    regression-gated simulated section, unlike ``meta``).
     """
 
     name: str
@@ -42,6 +48,7 @@ class ExperimentResult:
     x_values: list = field(default_factory=list)
     x_label: str = ""
     meta: dict = field(default_factory=dict)
+    storage: dict = field(default_factory=dict)
 
     def render(self, chart=True):
         if self.series:
@@ -75,6 +82,7 @@ class ExperimentResult:
             "x_values": [_json_value(v) for v in self.x_values],
             "x_label": self.x_label,
             "meta": dict(self.meta),
+            "storage": self.storage,
         }
 
 
@@ -84,6 +92,22 @@ def _json_value(value):
     if hasattr(value, "item"):  # numpy scalar
         return value.item()
     return str(value)
+
+
+def _deployment_storage(deployment):
+    """Footprint metrics of one deployment for ``ExperimentResult.storage``."""
+    engine = deployment.engine
+    info = {
+        "storage_bytes": int(engine.database_bytes()),
+        "compression_mode": None,
+        "compression_ratio": None,
+    }
+    report_fn = getattr(engine, "compression_report", None)
+    report = report_fn() if report_fn is not None else None
+    if report is not None:
+        info["compression_mode"] = report["mode"]
+        info["compression_ratio"] = round(report["compression_ratio"], 3)
+    return info
 
 
 # ---------------------------------------------------------------------------
@@ -434,11 +458,17 @@ def _figure6_cell(dataset, k, queries, property_counts, machine, mode):
         runner = BenchmarkRunner(triple.engine)
         result = runner.run(query, lambda: triple.engine.run(plan), mode)
         triple_s = round(triple.scaled_seconds(result.timing.real_seconds), 2)
+        triple_bytes = int(result.timing.bytes_read)
         runner = BenchmarkRunner(vert.engine)
         result = runner.run(query, vert.executor(query, scope=names), mode)
         vert_s = round(vert.scaled_seconds(result.timing.real_seconds), 2)
-        out[query] = (triple_s, vert_s)
-    return out
+        vert_bytes = int(result.timing.bytes_read)
+        out[query] = (triple_s, vert_s, triple_bytes, vert_bytes)
+    storage = {
+        "triple": _deployment_storage(triple),
+        "vert": _deployment_storage(vert),
+    }
+    return out, storage
 
 
 def experiment_figure6(dataset, queries=("q2", "q3", "q4", "q6"),
@@ -459,13 +489,25 @@ def experiment_figure6(dataset, queries=("q2", "q3", "q4", "q6"),
         dataset=dataset, jobs=jobs,
         labels=[f"figure6:k={k}" for k in property_counts],
     )
-    per_point = dict(zip(property_counts, values))
+    per_point = dict(zip(property_counts, [v[0] for v in values]))
+    # Every sweep point deploys the same full dataset (only the property
+    # filter changes), so any point's footprint describes the whole figure.
+    point_storage = values[0][1] if values else {}
     meta = scheduler_meta(outcomes, jobs)
     results = []
     for query in queries:
         series = {
             "triple": [per_point[k][query][0] for k in property_counts],
             "vert": [per_point[k][query][1] for k in property_counts],
+        }
+        storage = {
+            label: dict(
+                point_storage.get(label, {}),
+                bytes_scanned=[
+                    per_point[k][query][2 + offset] for k in property_counts
+                ],
+            )
+            for offset, label in enumerate(("triple", "vert"))
         }
         results.append(
             ExperimentResult(
@@ -478,6 +520,7 @@ def experiment_figure6(dataset, queries=("q2", "q3", "q4", "q6"),
                 x_values=list(property_counts),
                 x_label="#properties",
                 meta=meta,
+                storage=storage,
             )
         )
     return results
@@ -537,6 +580,7 @@ def _figure7_cell(dataset, target, base_count, queries, machine, mode, seed):
     triple = deploy(split, "MonetDB", "triple", "PSO", machine=machine)
     vert = deploy(split, "MonetDB", "vert", machine=machine)
     out = {}
+    scanned = {}
     for query in queries:
         for deployment, label in ((vert, "vert"), (triple, "triple")):
             runner = BenchmarkRunner(deployment.engine)
@@ -544,7 +588,13 @@ def _figure7_cell(dataset, target, base_count, queries, machine, mode, seed):
             out[f"{query} {label}"] = round(
                 deployment.scaled_seconds(result.timing.real_seconds), 2
             )
-    return out
+            scanned[f"{query} {label}"] = int(result.timing.bytes_read)
+    storage = {
+        "triple": _deployment_storage(triple),
+        "vert": _deployment_storage(vert),
+        "bytes_scanned": scanned,
+    }
+    return out, storage
 
 
 def experiment_figure7(dataset, queries=("q2*", "q3*", "q4*", "q6*"),
@@ -564,12 +614,36 @@ def experiment_figure7(dataset, queries=("q2*", "q3*", "q4*", "q6*"),
         dataset=dataset, jobs=jobs,
         labels=[f"figure7:p={target}" for target in x_values],
     )
+    timings = [v[0] for v in values]
+    per_point_storage = [v[1] for v in values]
     series = {}
     for query in queries:
         for label in ("vert", "triple"):
             series[f"{query} {label}"] = [
-                point[f"{query} {label}"] for point in values
+                point[f"{query} {label}"] for point in timings
             ]
+    # Splitting changes the physical design per sweep point, so footprint
+    # and bytes-scanned are series parallel to x_values.
+    storage = {
+        label: {
+            "storage_bytes": [
+                p[label]["storage_bytes"] for p in per_point_storage
+            ],
+            "compression_mode": (
+                per_point_storage[0][label]["compression_mode"]
+                if per_point_storage else None
+            ),
+            "compression_ratio": [
+                p[label]["compression_ratio"] for p in per_point_storage
+            ],
+        }
+        for label in ("triple", "vert")
+    }
+    storage["bytes_scanned"] = {
+        key: [p["bytes_scanned"][key] for p in per_point_storage]
+        for key in (per_point_storage[0]["bytes_scanned"]
+                    if per_point_storage else ())
+    }
     return ExperimentResult(
         name="figure7",
         title="Figure 7: Scalability experiment — splitting properties "
@@ -580,6 +654,77 @@ def experiment_figure7(dataset, queries=("q2*", "q3*", "q4*", "q6*"),
         x_values=x_values,
         x_label="#properties",
         meta=scheduler_meta(outcomes, jobs),
+        storage=storage,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compression sweep — footprint and scan speed, raw vs compressed
+# ---------------------------------------------------------------------------
+
+def experiment_compression(dataset, machine=MACHINE_B):
+    """Compression sweep: storage footprint and scan-heavy query cost of the
+    MonetDB-like engine, raw vs physically compressed.
+
+    Not a paper figure — the paper's compression discussion (Section 4.2)
+    reports footprints only.  This sweep adds the operate-on-compressed
+    execution angle: a run-length-friendly scan query per scheme (a
+    property-count aggregation over the PSO triples table, which lowers to
+    the ``compressed-group`` kernel, and the q1 scan+select over the
+    vertical scheme, which run-skips its property selects).
+    """
+    from repro.queries import build_query
+    from repro.sql.planner import plan_sql
+
+    rows = []
+    storage = {}
+    for scheme, config in (
+        ("triple", ("MonetDB", "triple", "PSO")),
+        ("vert", ("MonetDB", "vert", "SO")),
+    ):
+        for label, compression in (("raw", False), ("compressed", "physical")):
+            deployment = deploy(
+                dataset, *config, machine=machine, compression=compression
+            )
+            catalog = deployment.catalog
+            if scheme == "triple":
+                query_name = "prop-count"
+                plan = plan_sql(
+                    f"SELECT prop, COUNT(*) AS n FROM "
+                    f"{catalog.triples_table} GROUP BY prop",
+                    catalog,
+                )
+            else:
+                query_name = "q1"
+                plan = build_query(catalog, query_name)
+            runner = BenchmarkRunner(deployment.engine)
+            result = runner.run(
+                query_name, lambda: deployment.engine.run(plan), "cold"
+            )
+            info = _deployment_storage(deployment)
+            bytes_scanned = int(result.timing.bytes_read)
+            rows.append([
+                scheme,
+                label,
+                info["storage_bytes"],
+                info["compression_ratio"],
+                query_name,
+                round(
+                    deployment.scaled_seconds(result.timing.real_seconds), 4
+                ),
+                round(bytes_scanned / (1024 * 1024), 3),
+            ])
+            storage[f"{scheme}/{label}"] = dict(
+                info, bytes_scanned=bytes_scanned
+            )
+    return ExperimentResult(
+        name="compression",
+        title="Compression sweep: footprint and scan cost, raw vs "
+              "compressed (MonetDB, scaled seconds)",
+        headers=["scheme", "config", "storage bytes", "ratio", "query",
+                 "cold real (s)", "MB read"],
+        rows=rows,
+        storage=storage,
     )
 
 

@@ -85,7 +85,7 @@ class Deployment:
 
 
 def deploy(dataset, system, scheme, clustering="PSO", machine=MACHINE_B,
-           cache=None):
+           cache=None, compression=None):
     """Create one deployment of the grid over *dataset*.
 
     The engine runs as a 1:N scale model: fixed latencies and per-query
@@ -96,10 +96,21 @@ def deploy(dataset, system, scheme, clustering="PSO", machine=MACHINE_B,
     store payload from the benchmark artifact cache (byte-identical to a
     fresh build).  *cache* selects the :class:`ArtifactCache` (default: the
     process-wide one); pass ``False`` to force a fresh build.
+
+    *compression* enables columnar compression on the MonetDB-like engine
+    (``"logical"``/``"physical"``, see
+    :class:`~repro.storage.compress.CompressionConfig`).  The default
+    ``None`` reads the ``REPRO_COMPRESS`` environment variable, so a whole
+    benchmark run can be compressed without threading the option through
+    every experiment.
     """
     # ``dataset.triples`` may be lazily materialized (figure-7 splits); only
     # touch it on paths that actually need the raw triples — the C-Store
     # loader and store-payload cache misses.
+    if compression is None:
+        import os
+
+        compression = os.environ.get("REPRO_COMPRESS") or None
     interesting = dataset.interesting_properties
     scale = data_scale(dataset)
     scaled_machine = machine.scaled(scale)
@@ -109,7 +120,8 @@ def deploy(dataset, system, scheme, clustering="PSO", machine=MACHINE_B,
         )
     elif system == "MonetDB":
         engine = ColumnStoreEngine(
-            machine=scaled_machine, costs=COLUMN_STORE_COSTS.scaled(scale)
+            machine=scaled_machine, costs=COLUMN_STORE_COSTS.scaled(scale),
+            compression=compression,
         )
     elif system == "C-Store":
         # The replica's synchronous 64 KB requests cap its read rate at the

@@ -195,6 +195,13 @@ def build_parser():
         "--no-cache", action="store_true",
         help="bypass the on-disk artifact cache",
     )
+    record.add_argument(
+        "--compress", choices=("logical", "physical"), default=None,
+        help="enable columnar compression on the column-store engines "
+             "(sets REPRO_COMPRESS for the run; recorded as a run "
+             "parameter so compressed and uncompressed baselines get "
+             "distinct config fingerprints)",
+    )
 
     compare = perf_sub.add_parser(
         "compare",
@@ -484,6 +491,7 @@ _EXPERIMENTS = {
     "table7": ("experiment_table7", True),
     "figure6": ("experiment_figure6", True),
     "figure7": ("experiment_figure7", True),
+    "compression": ("experiment_compression", True),
 }
 
 
@@ -747,20 +755,25 @@ def _command_perf_record(args):
         return 2
     if args.no_cache:
         os.environ["REPRO_CACHE_DISABLE"] = "1"
+    compression = args.compress or os.environ.get("REPRO_COMPRESS") or None
+    if compression:
+        os.environ["REPRO_COMPRESS"] = compression
 
     run_name = args.name or "_".join(names)
+    parameters = {
+        "experiments": names,
+        "triples": args.triples,
+        "seed": args.seed,
+    }
+    if compression:
+        # Part of the fingerprint: compressed and raw runs are only
+        # comparable with themselves (physical mode changes I/O costs).
+        parameters["compression"] = compression
     # Serial on purpose: the process-wide counters (buffer pool, lowering
     # cache, scheduler) only see work done in this process.
     reset_counters()
     results = _run_experiments(names, args, jobs=1)
-    record = record_from_results(
-        run_name, results,
-        parameters={
-            "experiments": names,
-            "triples": args.triples,
-            "seed": args.seed,
-        },
-    )
+    record = record_from_results(run_name, results, parameters=parameters)
     ledger = RunLedger(args.perf_dir)
     ledger_path = ledger.append(record)
     snapshot = write_snapshot(record, args.snapshot_dir)

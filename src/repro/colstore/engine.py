@@ -12,6 +12,7 @@ from repro.engine import (
 from repro.errors import StorageError
 from repro.observe import NULL_OBSERVATION
 from repro.plan.logical import count_operators
+from repro.storage.compress import CompressionConfig
 
 
 class ColumnStoreEngine:
@@ -39,9 +40,11 @@ class ColumnStoreEngine:
 
     def __init__(self, machine=MACHINE_A, costs=COLUMN_STORE_COSTS,
                  page_size=DEFAULT_PAGE_SIZE, buffer_bytes=None,
-                 max_run_bytes=DEFAULT_MAX_RUN_BYTES, observe=None):
+                 max_run_bytes=DEFAULT_MAX_RUN_BYTES, observe=None,
+                 compression=None):
         self.machine = machine
         self.costs = costs
+        self.compression = CompressionConfig.coerce(compression)
         self.observe = observe if observe is not None else NULL_OBSERVATION
         self.disk = SimulatedDisk(page_size=page_size)
         self.clock = QueryClock(machine)
@@ -95,7 +98,8 @@ class ColumnStoreEngine:
         if name in self._tables:
             raise StorageError(f"table already exists: {name!r}")
         table = ColumnTable(
-            name, columns, self.disk, sort_order=sort_by, presorted=presorted
+            name, columns, self.disk, sort_order=sort_by, presorted=presorted,
+            compress=self.compression,
         )
         self._tables[name] = table
         return table
@@ -122,6 +126,37 @@ class ColumnStoreEngine:
 
     def database_bytes(self):
         return self.disk.total_bytes()
+
+    @property
+    def compression_mode(self):
+        """``None``, ``"logical"``, or ``"physical"``."""
+        return None if self.compression is None else self.compression.cost_mode
+
+    def compression_report(self):
+        """Footprint report across all tables (``None`` when disabled).
+
+        ``compression_ratio`` is logical/compressed bytes over every
+        column (raw-kept columns count at full size, so the ratio reflects
+        the whole store, not just the compressible part).
+        """
+        if self.compression is None:
+            return None
+        logical = 0
+        compressed = 0
+        codecs = {}
+        for table in self._tables.values():
+            logical += table.logical_bytes()
+            compressed += table.compressed_bytes()
+            for info in table.compression_summary().values():
+                codecs[info["codec"]] = codecs.get(info["codec"], 0) + 1
+        ratio = (logical / compressed) if compressed else 1.0
+        return {
+            "mode": self.compression.cost_mode,
+            "logical_bytes": logical,
+            "compressed_bytes": compressed,
+            "compression_ratio": ratio,
+            "columns_by_codec": dict(sorted(codecs.items())),
+        }
 
     # ------------------------------------------------------------------
     # query execution

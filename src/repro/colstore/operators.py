@@ -40,6 +40,7 @@ from repro.exec.runtime import Intermediate
 from repro.plan import logical as L
 from repro.plan.predicates import is_column_comparison
 from repro.relation import Relation
+from repro.storage.compress import note_runs_skipped, note_scan
 
 VALUE_BYTES = 8
 
@@ -67,7 +68,13 @@ def _binary_search(rt, table, column, value, lo, hi):
         rt.costs.select_tuple * (2 * math.log2(max(hi - lo, 2)))
     )
     segment = table.segment(column)
-    rt.pool.read_pages(segment, _probe_pages(segment, lo, hi))
+    encoding = table.physical_encoding(column)
+    if encoding is not None:
+        rt.pool.read_pages(
+            segment, _probe_pages_compressed(segment, encoding, lo, hi)
+        )
+    else:
+        rt.pool.read_pages(segment, _probe_pages(segment, lo, hi))
     new_lo = int(np.searchsorted(array[lo:hi], value, side="left")) + lo
     new_hi = int(np.searchsorted(array[lo:hi], value, side="right")) + lo
     return new_lo, new_hi
@@ -88,17 +95,78 @@ def _probe_pages(segment, lo, hi):
     return sorted(pages)
 
 
+def _probe_pages_compressed(segment, encoding, lo, hi):
+    """Bisection probe pages mapped through the compressed byte layout."""
+    pages = set()
+    a, b = lo, hi
+    for _ in range(64):
+        if a >= b:
+            break
+        mid = (a + b) // 2
+        pages.add(encoding.probe_byte(mid) // segment.page_size)
+        b = mid  # descend left; the exact path doesn't matter for cost
+        if b - a <= segment.page_size // VALUE_BYTES:
+            break
+    return sorted(pages)
+
+
+def _read_compressed(rt, segment, encoding, lo, hi):
+    """Read the compressed byte ranges covering rows ``[lo, hi)``."""
+    nbytes = 0
+    for offset, length in encoding.byte_ranges(lo, hi):
+        rt.pool.read(segment, offset, length)
+        nbytes += length
+    _note_compressed_read(rt, segment, nbytes, (hi - lo) * VALUE_BYTES)
+
+
+def _note_compressed_read(rt, segment, nbytes, logical_nbytes):
+    note_scan(nbytes, logical_nbytes)
+    observe = rt.engine.observe
+    if not observe.enabled:
+        return
+    metrics = observe.metrics
+    metrics.counter(
+        "compress.bytes_scanned", segment=segment.name
+    ).inc(int(nbytes))
+    metrics.counter(
+        "compress.logical_bytes_scanned", segment=segment.name
+    ).inc(int(logical_nbytes))
+
+
+def _note_runs_skipped(rt, segment, n):
+    if n <= 0:
+        return
+    note_runs_skipped(n)
+    observe = rt.engine.observe
+    if observe.enabled:
+        observe.metrics.counter(
+            "compress.runs_skipped", segment=segment.name
+        ).inc(int(n))
+
+
 def _fetch(rt, table, column, lo, hi, positions):
     """Read column values for the candidate rows, charging I/O."""
     array = table.array(column)
     segment = table.segment(column)
+    encoding = table.physical_encoding(column)
     if positions is None:
-        rt.pool.read(segment, lo * VALUE_BYTES, (hi - lo) * VALUE_BYTES)
+        if encoding is not None:
+            _read_compressed(rt, segment, encoding, lo, hi)
+        else:
+            rt.pool.read(segment, lo * VALUE_BYTES, (hi - lo) * VALUE_BYTES)
         return array[lo:hi]
     if len(positions) == 0:
         return np.empty(0, dtype=np.int64)
-    pages = np.unique(positions * VALUE_BYTES // segment.page_size)
-    rt.pool.read_pages(segment, pages, scattered=True)
+    if encoding is not None:
+        pages = encoding.pages_for_rows(positions, segment.page_size)
+        rt.pool.read_pages(segment, pages, scattered=True)
+        _note_compressed_read(
+            rt, segment, len(pages) * segment.page_size,
+            len(positions) * VALUE_BYTES,
+        )
+    else:
+        pages = np.unique(positions * VALUE_BYTES // segment.page_size)
+        rt.pool.read_pages(segment, pages, scattered=True)
     return array[positions]
 
 
@@ -137,13 +205,30 @@ def _scan_select(rt, scan, predicates, needed):
     positions = None  # None means the dense range [lo, hi)
     count = hi - lo
     # Remaining predicates: evaluate column-at-a-time over candidates.
+    # On a dense range whose column carries a physical RLE codec, the
+    # predicate runs once per run instead of once per row — the mask is
+    # identical by the run-length identity (every row of a run shares the
+    # run's value), only the CPU charge shrinks.
     for base_col, preds in by_base.items():
         for pred in preds:
             if id(pred) in consumed or count == 0:
                 continue
-            values = _fetch(rt, table, base_col, lo, hi, positions)
-            rt.clock.charge_cpu(rt.costs.select_tuple * max(count, 1))
-            mask = pred.mask(values)
+            encoding = (
+                table.physical_encoding(base_col)
+                if positions is None else None
+            )
+            if encoding is not None and encoding.codec == "rle":
+                segment = table.segment(base_col)
+                run_values, run_counts = encoding.runs_overlapping(lo, hi)
+                _read_compressed(rt, segment, encoding, lo, hi)
+                n_runs = len(run_values)
+                rt.clock.charge_cpu(rt.costs.select_tuple * max(n_runs, 1))
+                _note_runs_skipped(rt, segment, count - n_runs)
+                mask = np.repeat(pred.mask(run_values), run_counts)
+            else:
+                values = _fetch(rt, table, base_col, lo, hi, positions)
+                rt.clock.charge_cpu(rt.costs.select_tuple * max(count, 1))
+                mask = pred.mask(values)
             if positions is None:
                 positions = lo + np.nonzero(mask)[0]
             else:
@@ -176,6 +261,165 @@ def _apply_cross(rt, intermediate, cross):
     return Intermediate(
         Relation(columns, rel.oid_columns), intermediate.sorted_by
     )
+
+
+# ---------------------------------------------------------------------------
+# operate-on-compressed kernels
+# ---------------------------------------------------------------------------
+#
+# Registered ahead of the generic access paths (registration order is
+# lowering priority) but behind a `guard`: they only apply when the live
+# engine's table physically stores the relevant column RLE-encoded, so an
+# uncompressed (or logical-mode) engine lowers exactly as before.
+
+def _rle_leading_scan(engine, scan):
+    """``(table, leading_sort_column, rle_encoding)`` when *scan*'s table
+    physically stores its leading sort column run-length encoded."""
+    if not engine.has_table(scan.table):
+        return None
+    table = engine.table(scan.table)
+    if not table.sort_order:
+        return None
+    lead = table.sort_order[0]
+    encoding = table.physical_encoding(lead)
+    if encoding is None or encoding.codec != "rle":
+        return None
+    return table, lead, encoding
+
+
+def _guard_compressed_group(engine, node):
+    if not isinstance(node, L.GroupBy):
+        return False
+    if node.aggregates or len(node.keys) != 1:
+        return False
+    scan = node.child
+    if not isinstance(scan, L.Scan):
+        return False
+    info = _rle_leading_scan(engine, scan)
+    if info is None:
+        return False
+    _, lead, _ = info
+    return _base_column(scan, node.keys[0]) == lead
+
+
+def _match_compressed_group(node):
+    return Lowered(fused=(node.child,))
+
+
+@COLUMN_OPS.operator(
+    "compressed-group", _match_compressed_group,
+    "grouped count(*) straight off the RLE runs of the leading sort "
+    "column: group keys are the run values, counts the run lengths",
+    guard=_guard_compressed_group,
+)
+def compressed_group(rt, pnode, needed_above):
+    node = pnode.logical
+    scan = node.child
+    table = rt.engine.table(scan.table)
+    lead = table.sort_order[0]
+    encoding = table.encoding(lead)
+    segment = table.segment(lead)
+
+    def grouped():
+        # Maximal runs of the sorted leading column: run values are the
+        # distinct keys in ascending order, run lengths their counts —
+        # exactly group_count's output, without touching a single row.
+        _read_compressed(rt, segment, encoding, 0, table.n_rows)
+        n_runs = encoding.n_runs
+        rt.clock.charge_cpu(rt.costs.scan_tuple * max(n_runs, 1))
+        _note_runs_skipped(rt, segment, table.n_rows - n_runs)
+        columns = {
+            node.keys[0]: encoding.run_values.copy(),
+            node.count_column: encoding.run_lengths.copy(),
+        }
+        relation = Relation(columns, oid_columns={node.keys[0]})
+        return Intermediate(relation, tuple(node.keys))
+
+    result = rt.traced_block(scan, grouped)
+    rt.clock.charge_cpu(
+        rt.costs.group_tuple * max(result.relation.n_rows, 1)
+    )
+    return result
+
+
+def _guard_compressed_join(engine, node):
+    if not isinstance(node, L.Join) or len(node.on) != 1:
+        return False
+    scan = node.right
+    if not isinstance(scan, L.Scan):
+        return False
+    info = _rle_leading_scan(engine, scan)
+    if info is None:
+        return False
+    _, lead, _ = info
+    (_, rcol), = node.on
+    return _base_column(scan, rcol) == lead
+
+
+def _match_compressed_join(node):
+    return Lowered(children=(node.left,), fused=(node.right,))
+
+
+@COLUMN_OPS.operator(
+    "compressed-join", _match_compressed_join,
+    "merge join walking RLE run boundaries of the right scan's sorted "
+    "key column; non-key columns fetched positionally for matches only",
+    guard=_guard_compressed_join,
+)
+def compressed_join(rt, pnode, needed):
+    node = pnode.logical
+    scan = node.right
+    table = rt.engine.table(scan.table)
+    lead = table.sort_order[0]
+    encoding = table.encoding(lead)
+    segment = table.segment(lead)
+    (lcol, rcol), = node.on
+
+    left_cols = set(node.left.output_columns())
+    left_needed = (needed & left_cols) | {lcol}
+    left = rt.run_child(pnode.children[0], left_needed)
+    lrel = left.relation
+
+    def scan_runs():
+        _read_compressed(rt, segment, encoding, 0, table.n_rows)
+        rt.clock.charge_cpu(rt.costs.scan_tuple * max(encoding.n_runs, 1))
+        _note_runs_skipped(rt, segment, table.n_rows - encoding.n_runs)
+        relation = Relation(
+            {rcol: encoding.run_values}, oid_columns={rcol}
+        )
+        return Intermediate(relation, (rcol,))
+
+    rt.traced_block(scan, scan_runs)
+
+    lidx, right_pos = V.join_runs(
+        lrel.column(lcol), encoding.run_values,
+        encoding.run_starts, encoding.run_lengths,
+    )
+    n_out = len(lidx)
+    rt.clock.charge_cpu(
+        rt.costs.merge_step * (lrel.n_rows + encoding.n_runs + n_out)
+    )
+
+    columns = {}
+    for name, arr in lrel.columns.items():
+        if name in needed or name == lcol:
+            columns[name] = arr[lidx]
+    for qualified in scan.output_columns():
+        if qualified not in needed and qualified != rcol:
+            continue
+        base = _base_column(scan, qualified)
+        if base == lead:
+            # The key column's bytes were already read as runs; the
+            # matched values materialize from the in-memory array.
+            values = table.array(base)[right_pos]
+        else:
+            values = _fetch(rt, table, base, 0, table.n_rows, right_pos)
+        rt.clock.charge_cpu(rt.costs.scan_tuple * max(n_out, 1))
+        columns[qualified] = values
+    scan_outputs = set(scan.output_columns())
+    oid = (lrel.oid_columns | scan_outputs) & set(columns)
+    # join_runs keeps left order, so left sortedness survives.
+    return Intermediate(Relation(columns, oid), left.sorted_by)
 
 
 # ---------------------------------------------------------------------------

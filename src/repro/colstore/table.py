@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.errors import StorageError
+from repro.storage.compress import choose_codec, note_column
 
 VALUE_BYTES = 8  # int64 oids
 
@@ -13,9 +14,18 @@ class ColumnTable:
     Each column lives in its own segment named ``<table>.<column>``, so the
     buffer pool accounts I/O per column — the mechanism behind the
     column-store's "read only what the query touches" advantage.
+
+    With *compress* (a :class:`~repro.storage.compress.CompressionConfig`)
+    each column is additionally encoded by the stats-driven codec picker.
+    In ``"logical"`` cost mode segments stay sized at the uncompressed
+    footprint (simulated costs bit-identical to the uncompressed engine;
+    the encodings only feed the compression report); in ``"physical"``
+    mode segments are sized at the encoded footprint and the operators
+    read compressed byte ranges.
     """
 
-    def __init__(self, name, columns, disk, sort_order=None, presorted=False):
+    def __init__(self, name, columns, disk, sort_order=None, presorted=False,
+                 compress=None):
         if not columns:
             raise StorageError(f"table {name!r} needs at least one column")
         sort_order = list(sort_order or [])
@@ -43,11 +53,28 @@ class ColumnTable:
         self.name = name
         self.n_rows = n_rows
         self.sort_order = sort_order
+        self.compress = compress
         self._arrays = arrays
+        self._encodings = {}
+        if compress is not None:
+            for col, a in arrays.items():
+                encoding = choose_codec(a, compress)
+                note_column(encoding, n_rows)
+                if encoding is not None:
+                    self._encodings[col] = encoding
+        physical = compress is not None and compress.cost_mode == "physical"
         self._segments = {
-            col: disk.create_segment(f"{name}.{col}", n_rows * VALUE_BYTES)
+            col: disk.create_segment(
+                f"{name}.{col}", self._segment_bytes(col, physical)
+            )
             for col in arrays
         }
+
+    def _segment_bytes(self, column, physical):
+        encoding = self._encodings.get(column)
+        if physical and encoding is not None:
+            return encoding.nbytes
+        return self.n_rows * VALUE_BYTES
 
     def __repr__(self):
         return (
@@ -73,5 +100,50 @@ class ColumnTable:
     def segment(self, column):
         return self._segments[column]
 
+    def encoding(self, column):
+        """The column's codec object, or ``None`` when stored raw."""
+        return self._encodings.get(column)
+
+    def physical_encoding(self, column):
+        """The codec to *account I/O against*, or ``None``.
+
+        Non-None only in physical cost mode — in logical mode segments are
+        raw-sized, so the uncompressed read paths keep charging exactly
+        the uncompressed costs.
+        """
+        if self.compress is None or self.compress.cost_mode != "physical":
+            return None
+        return self._encodings.get(column)
+
     def bytes_on_disk(self):
         return sum(s.nbytes for s in self._segments.values())
+
+    def logical_bytes(self):
+        """Uncompressed footprint of the table's columns."""
+        return len(self._arrays) * self.n_rows * VALUE_BYTES
+
+    def compressed_bytes(self):
+        """Encoded footprint (raw-kept columns count at full size)."""
+        total = 0
+        for col in self._arrays:
+            encoding = self._encodings.get(col)
+            total += (
+                encoding.nbytes if encoding is not None
+                else self.n_rows * VALUE_BYTES
+            )
+        return total
+
+    def compression_summary(self):
+        """Per-column codec + size document for reports."""
+        columns = {}
+        for col in self._arrays:
+            encoding = self._encodings.get(col)
+            columns[col] = {
+                "codec": encoding.codec if encoding is not None else "raw",
+                "logical_bytes": self.n_rows * VALUE_BYTES,
+                "compressed_bytes": (
+                    encoding.nbytes if encoding is not None
+                    else self.n_rows * VALUE_BYTES
+                ),
+            }
+        return columns

@@ -96,6 +96,41 @@ def join_indices(left_keys, right_keys, assume_sorted=False):
     return left_idx, right_idx
 
 
+def join_runs(left_keys, run_values, run_starts, run_lengths):
+    """Equi-join a key array against an RLE-encoded sorted column.
+
+    The right side never materializes: a run with value ``v`` starting at
+    row ``s`` with length ``c`` stands for ``c`` rows ``s .. s+c-1`` all
+    equal to ``v``.  ``run_values`` must be sorted ascending with distinct
+    values (maximal runs of a sorted column — the shape the lowering guard
+    checks), so one ``searchsorted`` replaces the whole probe phase.
+
+    Returns ``(left_idx, right_pos)`` — ``left_idx`` indexes the left
+    input, ``right_pos`` holds *row positions* in the encoded column —
+    enumerating exactly the pairs :func:`join_indices` would, in the same
+    order (left order preserved, right positions ascending per match).
+    """
+    left_keys = np.asarray(left_keys, dtype=np.int64)
+    n_runs = len(run_values)
+    if len(left_keys) == 0 or n_runs == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    idx = np.searchsorted(run_values, left_keys)
+    idx = np.minimum(idx, n_runs - 1)
+    matched = np.flatnonzero(run_values[idx] == left_keys)
+    if len(matched) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    runs = idx[matched]
+    counts = run_lengths[runs]
+    total = int(counts.sum())
+    left_idx = np.repeat(matched, counts)
+    group_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - group_starts
+    right_pos = np.repeat(run_starts[runs], counts) + within
+    return left_idx, right_pos
+
+
 def factorize_rows(arrays):
     """Dense integer codes identifying distinct rows of parallel arrays.
 

@@ -30,11 +30,15 @@ class Dictionary:
     '<Text>'
     """
 
-    __slots__ = ("_by_string", "_by_oid")
+    __slots__ = ("_by_string", "_by_oid", "needs_reorganization")
 
     def __init__(self, strings=()):
         self._by_string = {}
         self._by_oid = []
+        # Set by the encoding layer when appended oids broke an
+        # order-preserving assignment; maintenance surfaces it so a
+        # rebuild can restore the property.
+        self.needs_reorganization = False
         for s in strings:
             self.encode(s)
 
@@ -190,11 +194,14 @@ class FrozenDictionary:
     :meth:`lookup_or_none` for query constants.
     """
 
-    __slots__ = ("_by_string", "_by_oid")
+    __slots__ = ("_by_string", "_by_oid", "needs_reorganization")
 
     def __init__(self, source):
         self._by_string = dict(source._by_string)
         self._by_oid = tuple(source._by_oid)
+        self.needs_reorganization = bool(
+            getattr(source, "needs_reorganization", False)
+        )
 
     def __len__(self):
         return len(self._by_oid)

@@ -89,8 +89,15 @@ def timing_document(timing):
 
 
 def parity_sweep(n_triples=4000, n_properties=60, seed=42,
-                 queries=ALL_QUERY_NAMES, modes=PARITY_MODES):
-    """Run the full differential sweep; returns a JSON-able document."""
+                 queries=ALL_QUERY_NAMES, modes=PARITY_MODES,
+                 column_engine_options=None):
+    """Run the full differential sweep; returns a JSON-able document.
+
+    *column_engine_options* are extra constructor kwargs applied to every
+    column-store cell — the compression-parity test passes
+    ``{"compression": "logical"}`` to assert that logical-mode compressed
+    stores reproduce the uncompressed goldens bit for bit.
+    """
     dataset = generate_barton(
         n_triples=n_triples,
         n_properties=n_properties,
@@ -108,7 +115,11 @@ def parity_sweep(n_triples=4000, n_properties=60, seed=42,
         "cells": {},
     }
     for label, engine_cls, builder in parity_cells():
-        engine = engine_cls()
+        options = {}
+        if (column_engine_options
+                and getattr(engine_cls, "kind", "") == "column-store"):
+            options = dict(column_engine_options)
+        engine = engine_cls(**options)
         catalog = builder(engine, dataset)
         cell = document["cells"][label] = {}
         for query in queries:

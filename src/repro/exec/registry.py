@@ -50,16 +50,24 @@ class Lowered:
 
 
 class OperatorDef:
-    """One physical operator: its name, lowering match, and execution fn."""
+    """One physical operator: its name, lowering match, and execution fn.
 
-    __slots__ = ("name", "engine", "match", "fn", "description")
+    *guard* optionally restricts the operator to engine instances whose
+    physical state supports it (e.g. a compressed-kernel operator that
+    needs the scanned segment to carry an RLE codec).  Guarded operators
+    are skipped when lowering without an instance, so engine-keyed
+    lowering stays deterministic.
+    """
 
-    def __init__(self, name, engine, match, fn, description=""):
+    __slots__ = ("name", "engine", "match", "fn", "description", "guard")
+
+    def __init__(self, name, engine, match, fn, description="", guard=None):
         self.name = name
         self.engine = engine
         self.match = match
         self.fn = fn
         self.description = description
+        self.guard = guard
 
     def __repr__(self):
         return f"OperatorDef({self.engine}/{self.name})"
@@ -82,16 +90,19 @@ class EngineOperatorSet:
         self.rules = []
         _REGISTRY[engine] = self
 
-    def operator(self, name, match, description=""):
+    def operator(self, name, match, description="", guard=None):
         """Decorator: register the wrapped fn as operator *name*.
 
         *match* maps a logical node to a :class:`Lowered` (or ``None`` for
-        no match).  Registration order is priority order.
+        no match).  Registration order is priority order.  *guard*, when
+        given, maps ``(engine_instance, node)`` to a bool; the rule only
+        applies when lowering knows the instance and the guard accepts.
         """
 
         def register(fn):
             self.rules.append(
-                OperatorDef(name, self.engine, match, fn, description)
+                OperatorDef(name, self.engine, match, fn, description,
+                            guard=guard)
             )
             return fn
 
@@ -140,18 +151,26 @@ def registered_engines():
     return sorted(_REGISTRY)
 
 
-def lower_plan(plan, engine):
+def lower_plan(plan, engine, instance=None):
     """Lower a logical plan to a physical tree for *engine*.
 
     Every logical node binds the first registered operator whose match
     accepts it; an unmatched node is an :class:`EngineError` naming the
     engine — the unified-layer replacement for the legacy executors'
     ``cannot execute`` dispatch failures.
+
+    *instance*, when given, is the live engine object; operators with a
+    ``guard`` are considered only when their guard accepts it (without an
+    instance, guarded operators never match).
     """
     ops = engine_ops(engine)
 
     def lower(node):
         for opdef in ops.rules:
+            if opdef.guard is not None and (
+                instance is None or not opdef.guard(instance, node)
+            ):
+                continue
             lowered = opdef.match(node)
             if lowered is None:
                 continue

@@ -129,7 +129,7 @@ class Runtime:
                 LOWERING_STATS["hits"] += 1
             return cached[1]
         self.lower_misses += 1
-        physical = lower_plan(plan, self.engine.kind)
+        physical = lower_plan(plan, self.engine.kind, instance=self.engine)
         evicted = 0
         if len(self._lowered) >= LOWER_CACHE_SIZE:
             self._lowered.pop(next(iter(self._lowered)))

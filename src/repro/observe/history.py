@@ -77,14 +77,21 @@ def collect_counters():
     from repro.bench.scheduler import scheduler_stats
     from repro.engine.buffer import global_stats, hit_ratio
     from repro.exec.runtime import lowering_cache_stats
+    from repro.storage.compress import compress_stats
 
     buffer_pool = global_stats()
     buffer_pool["hit_ratio"] = hit_ratio(buffer_pool)
+    compression = compress_stats()
+    compression["compression_ratio"] = (
+        compression["logical_bytes"] / compression["compressed_bytes"]
+        if compression["compressed_bytes"] else 1.0
+    )
     return {
         "buffer_pool": buffer_pool,
         "artifact_cache": cache_stats(),
         "lowering_cache": lowering_cache_stats(),
         "scheduler": scheduler_stats(),
+        "compression": compression,
     }
 
 
@@ -94,10 +101,12 @@ def reset_counters():
     from repro.bench.scheduler import reset_scheduler_stats
     from repro.engine.buffer import reset_global_stats
     from repro.exec.runtime import reset_lowering_cache_stats
+    from repro.storage.compress import reset_compress_stats
 
     reset_global_stats()
     reset_lowering_cache_stats()
     reset_scheduler_stats()
+    reset_compress_stats()
 
 
 def strip_meta(document):

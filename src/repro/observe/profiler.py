@@ -89,6 +89,9 @@ class QueryProfile:
     #: Engine-lowered physical tree (None for engines outside the unified
     #: execution layer, e.g. the C-Store replica).
     physical: object = None
+    #: Compression report + per-run compressed-scan counters (None when the
+    #: engine stores columns raw).
+    compression: object = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -144,6 +147,15 @@ class QueryProfile:
             "unattributed (parse/plan/output/build): "
             f"{_fmt_seconds(self.unattributed_seconds())}"
         )
+        if self.compression:
+            c = self.compression
+            lines.append(
+                f"compression: mode {c['mode']}, "
+                f"ratio {c['compression_ratio']:.1f}x, "
+                f"bytes_scanned {_fmt_bytes(c['bytes_scanned'])} "
+                f"(logical {_fmt_bytes(c['logical_bytes_scanned'])}), "
+                f"runs_skipped {c['runs_skipped']}"
+            )
         lines.append("")
         lines.append(
             render_plan(
@@ -250,6 +262,10 @@ class QueryProfile:
                 for name, stats in sorted(self.segments.items())
             },
             "metrics": self.registry.to_dict(),
+            "compression": (
+                dict(self.compression)
+                if self.compression is not None else None
+            ),
             "notes": list(self.notes),
         }
 
@@ -343,6 +359,18 @@ def profile_plan(engine, plan, mode="cold", query=""):
         engine.install_observation(None)
 
     tracer.root.rows = relation.n_rows
+    compression = None
+    report_fn = getattr(engine, "compression_report", None)
+    if report_fn is not None:
+        report = report_fn()
+        if report is not None:
+            compression = dict(report)
+            for counter, key in (
+                ("compress.bytes_scanned", "bytes_scanned"),
+                ("compress.logical_bytes_scanned", "logical_bytes_scanned"),
+                ("compress.runs_skipped", "runs_skipped"),
+            ):
+                compression[key] = _counter_total(registry, counter)
     return QueryProfile(
         query=query,
         engine_kind=getattr(engine, "kind", type(engine).__name__),
@@ -355,7 +383,17 @@ def profile_plan(engine, plan, mode="cold", query=""):
         segments=engine.disk.read_stats(),
         relation=relation,
         physical=physical,
+        compression=compression,
     )
+
+
+def _counter_total(registry, name):
+    """Sum one counter across all label sets (e.g. per-segment labels)."""
+    total = 0
+    for key, value in registry.to_dict()["counters"].items():
+        if key == name or key.startswith(name + "{"):
+            total += value
+    return int(total)
 
 
 # ---------------------------------------------------------------------------

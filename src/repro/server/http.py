@@ -227,6 +227,7 @@ class QueryServer:
             "buffer_pool": store.engine.pool.stats(),
             "buffer_hit_ratio": store.engine.pool.hit_ratio(),
         }
+        document["plan_cache"] = self.connection.plan_cache_stats()
         with self._session_lock:
             document["sessions"] = {"open": len(self._sessions)}
         return document
@@ -274,6 +275,9 @@ def _make_handler(server):
             elif self.path == "/v1/stats":
                 self._send_json(200, self.query_server.stats_document())
             elif self.path == "/metrics":
+                self.query_server.scheduler.publish_plan_cache(
+                    self.query_server.connection.plan_cache_stats()
+                )
                 text = metrics_to_prometheus(
                     self.query_server.scheduler.registry
                 )

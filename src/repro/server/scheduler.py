@@ -217,6 +217,15 @@ class SessionScheduler:
                 self._queue.qsize()
             )
 
+    def publish_plan_cache(self, stats):
+        """Mirror the connection's prepared-plan cache counters into the
+        metrics registry as gauges (the cache lives on the connection,
+        outside the registry, so the Prometheus exporter refreshes these
+        just before rendering)."""
+        with self._stats_lock:
+            for key, value in stats.items():
+                self.registry.gauge(f"server.plan_cache_{key}").set(value)
+
     # ------------------------------------------------------------------
     # introspection / lifecycle
     # ------------------------------------------------------------------

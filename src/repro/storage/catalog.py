@@ -39,6 +39,9 @@ class StoreCatalog:
     * ``property_tables`` — property name -> table name (vertical scheme).
     * ``interesting_properties`` / ``all_properties`` — property name lists,
       most frequent first.
+    * ``compression`` — the engine's compression cost mode (``None``,
+      ``"logical"`` or ``"physical"``) at build time, so catalog consumers
+      can tell a compressed store from a raw one.
     """
 
     scheme: str
@@ -49,6 +52,7 @@ class StoreCatalog:
     triples_table: str = None
     properties_table: str = None
     property_tables: dict = field(default_factory=dict)
+    compression: str = None
 
     def is_triple_store(self):
         return self.scheme == "triple"

@@ -9,10 +9,19 @@ Storage-scheme builders call :func:`order_preserving_dictionary` before
 encoding, pre-interning the dataset's whole vocabulary in sorted order.
 Strings interned *later* (incremental maintenance) get appended oids and
 break the property until the next reorganization — exactly the trade-off
-real systems make.
+real systems make.  When that happens the dictionary is flagged
+``needs_reorganization`` and an :class:`OrderPreservationWarning` is
+emitted, so the maintenance layer can schedule a rebuild instead of
+silently serving wrong range semantics.
 """
 
+import warnings
+
 from repro.dictionary import Dictionary
+
+
+class OrderPreservationWarning(UserWarning):
+    """Extending a dictionary broke its order-preserving oid assignment."""
 
 
 def order_preserving_dictionary(triples, dictionary=None):
@@ -20,12 +29,14 @@ def order_preserving_dictionary(triples, dictionary=None):
 
     When *dictionary* is a fresh (or empty) dictionary, the resulting oids
     are order-isomorphic to the strings.  A non-empty dictionary is
-    extended with the new strings in sorted order (best effort; global
-    order preservation only holds if the existing contents already respect
-    it).
+    extended with the new strings in sorted order; if any new string sorts
+    below an existing one, the appended oids break global order
+    preservation — the dictionary is flagged ``needs_reorganization`` and
+    an :class:`OrderPreservationWarning` is emitted.
     """
     if dictionary is None:
         dictionary = Dictionary()
+    was_empty = len(dictionary) == 0
     vocabulary = set()
     add = vocabulary.add
     for t in triples:
@@ -33,6 +44,15 @@ def order_preserving_dictionary(triples, dictionary=None):
         add(t.p)
         add(t.o)
     dictionary.encode_many(sorted(vocabulary))
+    if not was_empty and not is_order_preserving(dictionary):
+        dictionary.needs_reorganization = True
+        warnings.warn(
+            "extending a non-empty dictionary broke order preservation; "
+            "range predicates on encoded columns need a dictionary "
+            "reorganization to stay correct",
+            OrderPreservationWarning,
+            stacklevel=2,
+        )
     return dictionary
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from repro.dictionary import Dictionary
 from repro.errors import StorageError
 from repro.storage.catalog import clustering_columns
+from repro.storage.encoding import is_order_preserving
 
 
 @dataclass
@@ -37,6 +38,10 @@ class MaintenanceReport:
     tables_created: list = field(default_factory=list)
     bytes_rewritten: int = 0
     new_properties: list = field(default_factory=list)
+    #: New strings got appended oids that broke the order-preserving
+    #: dictionary assignment; range predicates on encoded columns need a
+    #: dictionary rebuild.
+    needs_reorganization: bool = False
 
     @property
     def schema_changed(self):
@@ -77,7 +82,18 @@ def insert_triples(engine, catalog, triples):
 
 def _thaw(frozen):
     """Rebuild a mutable dictionary preserving every existing oid."""
-    return Dictionary(frozen)
+    dictionary = Dictionary(frozen)
+    dictionary.needs_reorganization = bool(
+        getattr(frozen, "needs_reorganization", False)
+    )
+    return dictionary
+
+
+def _note_order_breakage(dictionary, report):
+    """Flag the dictionary/report when appended oids broke oid order."""
+    if dictionary.needs_reorganization or not is_order_preserving(dictionary):
+        dictionary.needs_reorganization = True
+        report.needs_reorganization = True
 
 
 def _replace_table(engine, name, columns, sort_by, indexes):
@@ -136,6 +152,7 @@ def _insert_triple_store(engine, catalog, triples):
     report.new_properties = sorted(
         set(report.new_properties)
     )
+    _note_order_breakage(dictionary, report)
     new_catalog = dataclasses.replace(
         catalog,
         dictionary=dictionary.freeze(),
@@ -202,6 +219,7 @@ def _insert_vertical(engine, catalog, triples):
     counts = {
         p: engine.table(t).n_rows for p, t in property_tables.items()
     }
+    _note_order_breakage(dictionary, report)
     new_catalog = dataclasses.replace(
         catalog,
         dictionary=dictionary.freeze(),

@@ -64,4 +64,8 @@ def build_store_from_payload(engine, payload):
             indexes=entry["indexes"],
             presorted=True,
         )
-    return StoreCatalog(dictionary=dictionary.freeze(), **payload["catalog"])
+    return StoreCatalog(
+        dictionary=dictionary.freeze(),
+        compression=getattr(engine, "compression_mode", None),
+        **payload["catalog"],
+    )

@@ -142,6 +142,7 @@ def build_property_table_store(engine, triples, interesting_properties,
         all_properties=all_properties,
         triples_table=leftover_name,
         properties_table="properties",
+        compression=getattr(engine, "compression_mode", None),
     )
     # Extension fields (StoreCatalog is a plain dataclass; these ride along
     # for the property-table query builder).

@@ -201,6 +201,66 @@ class TestPlanCache:
         _, optimized, _ = conn._plan_for(sql, optimize=True)
         assert plain is not optimized
 
+    def test_hit_and_miss_counters(self, dataset):
+        conn = fresh_connection(dataset)
+        stats = conn.plan_cache_stats()
+        assert stats == {
+            "size": 0, "capacity": api.PLAN_CACHE_SIZE,
+            "hits": 0, "misses": 0, "evictions": 0,
+        }
+        conn._plan_for("q1")
+        conn._plan_for("q1")
+        conn._plan_for("q2")
+        stats = conn.plan_cache_stats()
+        assert stats["size"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 0
+
+    def test_lru_evicts_least_recently_used(self):
+        """The raw cache structure: touching an old entry saves it from
+        eviction (the FIFO this replaced would have dropped it)."""
+        from repro.api import _LruCache
+
+        cache = _LruCache(3)
+        for key in ("a", "b", "c"):
+            assert cache.get(key) is None
+            cache.put(key, key.upper())
+        assert cache.get("a") == "A"   # refresh "a"
+        cache.put("d", "D")            # evicts "b", the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("d") == "D"
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 3
+
+    def test_put_is_insert_if_absent(self):
+        from repro.api import _LruCache
+
+        cache = _LruCache(2)
+        first = object()
+        assert cache.put("k", first) is first
+        assert cache.put("k", object()) is first  # first build wins
+        assert cache.get("k") is first
+
+    def test_eviction_under_query_load(self, dataset, monkeypatch):
+        """End to end through Connection: a stream of distinct queries
+        rolls the cache over while a hot entry survives."""
+        monkeypatch.setattr(api, "PLAN_CACHE_SIZE", 4)
+        conn = fresh_connection(dataset)
+        conn._plans = api._LruCache(4)
+        conn._plan_for("q1")
+        for name in ("q2", "q3", "q4"):
+            conn._plan_for(name)
+            conn._plan_for("q1")   # keep q1 hot
+        conn._plan_for("q5")       # overflows: evicts q2, not q1
+        stats = conn.plan_cache_stats()
+        assert stats["evictions"] == 1
+        assert stats["size"] == 4
+        hits_before = stats["hits"]
+        conn._plan_for("q1")
+        assert conn.plan_cache_stats()["hits"] == hits_before + 1
+
 
 # ---------------------------------------------------------------------------
 # timeouts / cancellation

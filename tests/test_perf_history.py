@@ -53,9 +53,11 @@ class TestCounters:
     def test_collect_returns_all_groups(self):
         counters = collect_counters()
         assert sorted(counters) == [
-            "artifact_cache", "buffer_pool", "lowering_cache", "scheduler",
+            "artifact_cache", "buffer_pool", "compression",
+            "lowering_cache", "scheduler",
         ]
         assert "hit_ratio" in counters["buffer_pool"]
+        assert "compression_ratio" in counters["compression"]
 
     def test_reset_zeroes_everything(self, profile):
         # The module-scoped profile fixture has run queries, so the global

@@ -250,6 +250,82 @@ class TestOrderPreservingEncoding:
         )
         assert not is_order_preserving(catalog.dictionary)
 
+    def test_maintenance_appends_flag_reorganization(self, dataset):
+        """Order breakage is *detected*, not silent: the dictionary and
+        the maintenance report both carry ``needs_reorganization``."""
+        from repro.model.triple import Triple
+        from repro.storage.maintenance import insert_triples
+
+        engine = ColumnStoreEngine()
+        catalog = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties
+        )
+        assert not catalog.dictionary.needs_reorganization
+        catalog, report = insert_triples(
+            engine, catalog, [Triple("<aaa-first>", "<prop/0>", "<zzz>")]
+        )
+        assert report.needs_reorganization
+        assert catalog.dictionary.needs_reorganization
+        # The flag is sticky across further (even order-safe) inserts.
+        catalog, report = insert_triples(
+            engine, catalog, [Triple("<aaa-first>", "<prop/0>", "<zzz>")]
+        )
+        assert report.needs_reorganization
+        assert catalog.dictionary.needs_reorganization
+
+    def test_order_safe_appends_do_not_flag_reorganization(self, dataset):
+        """Re-inserting known strings allocates no oids and keeps the
+        dictionary order-preserving — no reorganization flag."""
+        from repro.storage.maintenance import insert_triples
+
+        engine = ColumnStoreEngine()
+        catalog = build_triple_store(
+            engine, dataset.triples, dataset.interesting_properties
+        )
+        catalog, report = insert_triples(
+            engine, catalog, [dataset.triples[0]]
+        )
+        assert not report.needs_reorganization
+        assert not catalog.dictionary.needs_reorganization
+
+    def test_extending_nonempty_dictionary_warns(self, dataset):
+        """order_preserving_dictionary() on a pre-populated dictionary
+        breaks the order guarantee silently no more: it warns and flags
+        the dictionary for reorganization."""
+        import warnings
+
+        from repro.model.triple import Triple
+        from repro.storage.encoding import (
+            OrderPreservationWarning,
+            order_preserving_dictionary,
+        )
+
+        d = order_preserving_dictionary(
+            [Triple("<m>", "<n>", "<o>")]
+        )
+        assert not d.needs_reorganization
+        with pytest.warns(OrderPreservationWarning):
+            order_preserving_dictionary(
+                [Triple("<a>", "<b>", "<c>")], dictionary=d
+            )
+        assert d.needs_reorganization
+
+    def test_extending_with_larger_strings_does_not_warn(self):
+        """Appending strings that sort after everything present keeps the
+        order guarantee — no warning, no flag."""
+        import warnings
+
+        from repro.model.triple import Triple
+        from repro.storage.encoding import order_preserving_dictionary
+
+        d = order_preserving_dictionary([Triple("<a>", "<b>", "<c>")])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            order_preserving_dictionary(
+                [Triple("<x>", "<y>", "<z>")], dictionary=d
+            )
+        assert not d.needs_reorganization
+
 
 def test_property_order_preserving_dictionary():
     """Hypothesis: any vocabulary gets order-isomorphic oids."""
