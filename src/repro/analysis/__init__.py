@@ -21,6 +21,18 @@ Two heads, one subsystem:
   ``repro lint`` with a checked-in ratchet baseline
   (:mod:`repro.analysis.baseline`).
 
+* **Concurrency-safety analyzer** (:mod:`repro.analysis.concurrency`) —
+  three checks over the process-wide mutable state the query server
+  shares between sessions: a *guarded-by* discipline checker (every
+  mutation of an annotated structure must sit inside ``with <lock>:``),
+  a static *lock-order* graph with cycle (deadlock) detection, and a
+  runtime *race harness* (``REPRO_RACE_CHECK=1``) that records accessor
+  threads on annotated structures and cross-checks that N-thread replay
+  produces byte-identical simulated costs to serial.  Exposed as
+  ``repro analyze --concurrency``; the static heads ride the same
+  ratchet-baseline machinery as the code linter
+  (``concurrency-baseline.json``).
+
 Rule catalog and workflow: ``docs/static-analysis.md``.
 """
 
@@ -54,6 +66,18 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.analysis.concurrency import (
+    CONCURRENCY_BASELINE_NAME,
+    CONCURRENCY_RULES,
+    build_lock_graph,
+    check_package,
+    check_paths,
+    check_source,
+    lock_graph_document,
+    lockorder_package,
+    lockorder_paths,
+    lockorder_source,
+)
 
 __all__ = [
     "Diagnostic",
@@ -78,4 +102,14 @@ __all__ = [
     "load_baseline",
     "apply_baseline",
     "write_baseline",
+    "CONCURRENCY_BASELINE_NAME",
+    "CONCURRENCY_RULES",
+    "check_source",
+    "check_paths",
+    "check_package",
+    "build_lock_graph",
+    "lock_graph_document",
+    "lockorder_source",
+    "lockorder_paths",
+    "lockorder_package",
 ]

@@ -1,0 +1,69 @@
+"""Head 3: concurrency-safety analysis.
+
+Three cooperating layers, all zero-dependency:
+
+* :mod:`repro.analysis.concurrency.guarded` — the **guarded-by static
+  checker**: every module-level mutable object must be mutated under the
+  lock its ``# guarded-by: <LockName>`` annotation names (ratcheted via
+  ``concurrency-baseline.json``).
+* :mod:`repro.analysis.concurrency.lockorder` — the **lock-order
+  analyzer**: builds the static lock-acquisition graph from nested
+  ``with`` blocks (plus same-module call edges) and fails on cycles —
+  the classic deadlock precondition.
+* :mod:`repro.observe.race` — the **runtime race harness** (re-exported
+  here): ``REPRO_RACE_CHECK=1`` turns annotated structures into write
+  barriers that record accessor thread ids and report mutations made
+  without their guard lock held.  The harness lives under
+  :mod:`repro.observe` so the engine substrate can import it without
+  pulling in the analysis stack.
+
+:mod:`repro.analysis.concurrency.determinism` drives the runtime phase of
+``repro analyze --concurrency``: a serial-vs-threaded replay whose
+per-query simulated costs must be byte-identical.
+"""
+
+from repro.analysis.concurrency.guarded import (
+    CONCURRENCY_RULES,
+    check_package,
+    check_paths,
+    check_source,
+)
+from repro.analysis.concurrency.lockorder import (
+    build_lock_graph,
+    lock_graph_document,
+    lockorder_package,
+    lockorder_paths,
+    lockorder_source,
+)
+from repro.observe.race import (
+    InstrumentedLock,
+    enable_race_check,
+    guard_lock,
+    race_check_enabled,
+    race_report,
+    reset_race_state,
+    shared_state,
+)
+
+#: Baseline file for the ratchet (repo root, next to lint-baseline.json).
+CONCURRENCY_BASELINE_NAME = "concurrency-baseline.json"
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "CONCURRENCY_BASELINE_NAME",
+    "check_source",
+    "check_paths",
+    "check_package",
+    "build_lock_graph",
+    "lock_graph_document",
+    "lockorder_source",
+    "lockorder_paths",
+    "lockorder_package",
+    "InstrumentedLock",
+    "guard_lock",
+    "shared_state",
+    "enable_race_check",
+    "race_check_enabled",
+    "race_report",
+    "reset_race_state",
+]

@@ -1,0 +1,137 @@
+"""The runtime phase of ``repro analyze --concurrency``.
+
+Two dynamic checks over a real (small) store deployment, run with the
+write barrier of :mod:`repro.observe.race` enabled:
+
+* **race harness** — a threaded replay of the Zipf workload mix drives
+  concurrent sessions through the shared connection; every annotated
+  structure records accessor thread ids, and any mutation made without
+  its guard lock held lands in :func:`repro.observe.race.race_report`.
+* **determinism cross-check** — the same query sequence runs serially
+  and again fanned across N threads, each query under the ``"cold"``
+  buffer-pool protocol (the pool clears under the connection's execution
+  lock, so per-query simulated costs are interleaving-independent).  The
+  two runs' per-query cost documents must be **byte-identical**; any
+  divergence means shared engine state leaked between queries.
+
+The paper's tables are built from those simulated costs — this check is
+the machine-verifiable statement that concurrency does not perturb them.
+"""
+
+import json
+import threading
+
+#: Defaults sized for CI: a few seconds end to end.
+DEFAULT_TRIPLES = 3_000
+DEFAULT_QUERIES = 32
+DEFAULT_THREADS = 8
+DEFAULT_SEED = 7
+DEFAULT_WORKLOAD_SEED = 17
+
+
+def _build_connection(triples, seed):
+    import repro.api as api
+    from repro.data import generate_barton
+
+    dataset = generate_barton(
+        n_triples=triples, n_properties=30, seed=seed
+    )
+    return api.connect(
+        triples=dataset.triples,
+        interesting_properties=dataset.interesting_properties,
+    )
+
+
+def _run_workload(connection, sequence, threads):
+    """Per-query cost documents for *sequence*, in sequence order.
+
+    Every query runs ``mode="cold"``: the buffer pool is cleared under
+    the connection's execution lock immediately before the query, so its
+    simulated cost depends only on the query itself — the property that
+    makes serial and threaded runs comparable byte for byte.
+    """
+    costs = [None] * len(sequence)
+
+    def run_range(indices):
+        with connection.session() as session:
+            for index in indices:
+                result = session.query(sequence[index], mode="cold")
+                costs[index] = json.dumps(
+                    result.cost_dict(), sort_keys=True
+                )
+
+    if threads <= 1:
+        run_range(range(len(sequence)))
+        return costs
+    workers = [
+        threading.Thread(
+            target=run_range,
+            args=(range(worker, len(sequence), threads),),
+            name=f"race-check-{worker}",
+            daemon=True,
+        )
+        for worker in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    return costs
+
+
+def run_concurrency_harness(triples=DEFAULT_TRIPLES,
+                            queries=DEFAULT_QUERIES,
+                            threads=DEFAULT_THREADS,
+                            seed=DEFAULT_SEED,
+                            workload_seed=DEFAULT_WORKLOAD_SEED,
+                            connection=None):
+    """Run both dynamic checks; returns a JSON-ready document.
+
+    The document carries ``determinism`` (per-query serial-vs-threaded
+    comparison) and ``race`` (the write-barrier report).  ``ok`` is True
+    when the costs matched byte for byte *and* no unguarded mutation was
+    recorded.  The write barrier is enabled for the duration and restored
+    afterwards; recorded race state is reset on entry so the report only
+    covers this harness run.
+    """
+    from repro.observe.race import (
+        enable_race_check,
+        race_check_enabled,
+        race_report,
+        reset_race_state,
+    )
+    from repro.server.replay import WorkloadMix
+
+    was_enabled = race_check_enabled()
+    enable_race_check(True)
+    reset_race_state()
+    try:
+        if connection is None:
+            connection = _build_connection(triples, seed)
+        sequence = WorkloadMix(seed=workload_seed).sample(queries)
+        serial = _run_workload(connection, sequence, threads=1)
+        threaded = _run_workload(connection, sequence, threads=threads)
+        mismatches = [
+            {
+                "index": index,
+                "query": sequence[index],
+                "serial": serial[index],
+                "threaded": threaded[index],
+            }
+            for index in range(len(sequence))
+            if serial[index] != threaded[index]
+        ]
+        race = race_report()
+    finally:
+        enable_race_check(was_enabled)
+    determinism = {
+        "queries": len(sequence),
+        "threads": threads,
+        "identical": not mismatches,
+        "mismatches": mismatches[:10],
+    }
+    return {
+        "determinism": determinism,
+        "race": race,
+        "ok": determinism["identical"] and race["violation_count"] == 0,
+    }

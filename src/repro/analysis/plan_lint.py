@@ -67,6 +67,8 @@ PHYSICAL_RULES = {}
 
 def plan_rule(rule_id, description):
     def register(fn):
+        # unguarded-ok: decorator registration runs at import time, before
+        # any query thread exists
         PLAN_RULES[rule_id] = (fn, description)
         return fn
 
@@ -75,6 +77,8 @@ def plan_rule(rule_id, description):
 
 def physical_rule(rule_id, description):
     def register(fn):
+        # unguarded-ok: decorator registration runs at import time, before
+        # any query thread exists
         PHYSICAL_RULES[rule_id] = (fn, description)
         return fn
 
@@ -157,6 +161,8 @@ def set_lint_mode(mode):
         raise ValueError(
             f"unknown lint mode {mode!r}; expected one of {LINT_MODES}"
         )
+    # unguarded-ok: frontend config knob, set during setup (CLI, tests)
+    # before queries run; an atomic reference store either way
     _lint_mode = mode
 
 

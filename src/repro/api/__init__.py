@@ -527,7 +527,7 @@ class Connection:
                     f"engine {engine.kind!r} does not support cooperative "
                     "timeouts (no unified runtime)"
                 )
-            token = CancellationToken()
+            token = CancellationToken().bind()
             timer = threading.Timer(
                 timeout, token.cancel, kwargs={"reason": "deadline exceeded"}
             )

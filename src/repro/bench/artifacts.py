@@ -34,6 +34,7 @@ import pathlib
 import pickle
 
 from repro.observe.log import get_logger
+from repro.observe.race import guard_lock
 
 log = get_logger("bench.artifacts")
 
@@ -203,15 +204,19 @@ class ArtifactCache:
 
 
 #: Process-wide default cache, shared by the CLI, the benchmark fixtures and
-#: the scheduler's worker processes.
-_DEFAULT_CACHE = None
+#: the scheduler's worker processes.  Lazily created under a lock so two
+#: server threads racing the first touch cannot build (and half-lose)
+#: separate caches.
+_DEFAULT_CACHE_LOCK = guard_lock("bench.artifacts._DEFAULT_CACHE")
+_DEFAULT_CACHE = None  # guarded-by: _DEFAULT_CACHE_LOCK
 
 
 def default_cache():
     global _DEFAULT_CACHE
-    if _DEFAULT_CACHE is None:
-        _DEFAULT_CACHE = ArtifactCache()
-    return _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = ArtifactCache()
+        return _DEFAULT_CACHE
 
 
 def cache_stats():

@@ -31,13 +31,13 @@ it per invocation.
 
 import multiprocessing
 import os
-import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import BenchmarkError
 from repro.observe.log import get_logger
+from repro.observe.race import guard_lock, shared_state
 
 log = get_logger("bench.scheduler")
 
@@ -57,8 +57,12 @@ REPEATS_ENV = "REPRO_BENCH_REPEATS"
 #: workers accumulate their own copies, so the perf observatory records
 #: runs serially.  Lock-guarded: cells may also run on the query server's
 #: thread pool, where plain float/int ``+=`` loses updates.
-SCHEDULER_STATS = {"cells": 0, "repeats": 0, "wall_ms": 0.0}
-_SCHEDULER_STATS_LOCK = threading.Lock()
+_SCHEDULER_STATS_LOCK = guard_lock("bench.scheduler.SCHEDULER_STATS")
+SCHEDULER_STATS = shared_state(  # guarded-by: _SCHEDULER_STATS_LOCK
+    "bench.scheduler.SCHEDULER_STATS",
+    {"cells": 0, "repeats": 0, "wall_ms": 0.0},
+    _SCHEDULER_STATS_LOCK,
+)
 
 
 def scheduler_stats():
@@ -135,6 +139,8 @@ _WORKER_DATASET = None
 
 def _set_worker_dataset(dataset):
     global _WORKER_DATASET
+    # unguarded-ok: rebound by the parent before the pool forks and by the
+    # worker initializer before any cell runs; never raced by query threads
     _WORKER_DATASET = dataset
 
 

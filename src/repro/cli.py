@@ -21,6 +21,8 @@
     python -m repro -v verify --triples 20000
     python -m repro analyze q5 --scheme triple
     python -m repro analyze all --strict
+    python -m repro analyze --concurrency --static-only
+    python -m repro analyze all --code --concurrency --json
     python -m repro lint --baseline lint-baseline.json
 """
 
@@ -335,12 +337,13 @@ def build_parser():
 
     analyze = sub.add_parser(
         "analyze",
-        help="statically lint a query plan without executing it",
+        help="static analysis: lint a query plan without executing it "
+             "and/or check the codebase's concurrency discipline",
     )
     analyze.add_argument(
-        "query",
+        "query", nargs="?", default=None,
         help="benchmark query name (q1..q8, q2*..q6*, or 'all'), SPARQL, "
-             "or SQL",
+             "or SQL (optional when --code or --concurrency is given)",
     )
     analyze.add_argument("--data", help="N-Triples file (default: generate)")
     analyze.add_argument("--triples", type=int, default=20_000)
@@ -364,8 +367,26 @@ def build_parser():
              "registry and run the physical rule set too",
     )
     analyze.add_argument(
+        "--code", action="store_true",
+        help="also run the AST invariant checker over the codebase "
+             "(the 'repro lint' rules, ratchet baseline applied)",
+    )
+    analyze.add_argument(
+        "--concurrency", action="store_true",
+        help="also run the concurrency-safety heads: the guarded-by "
+             "discipline checker, the lock-order (deadlock) analyzer, "
+             "and — unless --static-only — the runtime race/determinism "
+             "harness",
+    )
+    analyze.add_argument(
+        "--static-only", action="store_true",
+        help="with --concurrency: run only the static checks, skipping "
+             "the runtime harness",
+    )
+    analyze.add_argument(
         "--json", action="store_true",
-        help="emit diagnostics as a JSON document",
+        help="emit one machine-readable document covering every section "
+             "run (schema documented in docs/static-analysis.md)",
     )
 
     lint = sub.add_parser(
@@ -383,8 +404,14 @@ def build_parser():
              "lint-baseline.json next to the source tree, if present)",
     )
     lint.add_argument(
+        "--concurrency-baseline", metavar="PATH", default=None,
+        help="ratchet file for the concurrency checks (default: "
+             "concurrency-baseline.json next to the source tree, if "
+             "present)",
+    )
+    lint.add_argument(
         "--update-baseline", action="store_true",
-        help="rewrite the baseline file to the current violation set",
+        help="rewrite both baseline files to the current violation sets",
     )
     lint.add_argument(
         "--json", action="store_true",
@@ -658,7 +685,31 @@ def _command_serve(args):
     )
     print("POST /v1/query  GET /v1/stats  GET /metrics  (Ctrl-C to stop)")
     server.serve_forever()
-    return 0
+    return _report_race_violations()
+
+
+def _report_race_violations():
+    """Exit status for race-checked runs: 1 when the write barrier
+    (REPRO_RACE_CHECK=1) recorded any unguarded concurrent mutation."""
+    from repro.observe.race import race_check_enabled, race_report
+
+    if not race_check_enabled():
+        return 0
+    report = race_report()
+    if not report["violation_count"]:
+        log.info("race check: %d structure(s) tracked, no violations",
+                 len(report["structures"]))
+        return 0
+    print(
+        f"race check FAILED: {report['violation_count']} unguarded "
+        "concurrent mutation(s)", file=sys.stderr,
+    )
+    for event in report["violations"]:
+        print(
+            f"  {event['structure']}: {event['op']} on thread "
+            f"{event['thread']} without {event['lock']}", file=sys.stderr,
+        )
+    return 1
 
 
 def _command_replay(args):
@@ -717,7 +768,10 @@ def _command_replay(args):
             f"  ledger   {ledger_path}\n"
             f"  snapshot {snapshot}"
         )
-    return 1 if (report.failed or report.timeouts) else 0
+    # In-process replay shares our interpreter; honor the write barrier
+    # the same way `repro serve` does (no-op against a remote --url).
+    race_failed = 0 if args.url else _report_race_violations()
+    return 1 if (report.failed or report.timeouts or race_failed) else 0
 
 
 # ---------------------------------------------------------------------------
@@ -851,6 +905,91 @@ def _command_perf_report(args):
 def _command_analyze(args):
     import json
 
+    sections = []
+    if args.query is not None:
+        sections.append("plan")
+    if args.code:
+        sections.append("code")
+    if args.concurrency:
+        sections.append("concurrency")
+    if not sections:
+        log.error(
+            "nothing to analyze: give a query and/or --code/--concurrency"
+        )
+        return 2
+
+    document = {"version": 1, "sections": sections}
+    lines = []  # text report, printed unless --json
+    failing = 0
+
+    if "plan" in sections:
+        report, plan_failing = _analyze_plan_section(args)
+        failing += plan_failing
+        document["plan"] = {
+            query: [d.to_dict() for d in diagnostics]
+            for query, diagnostics in report.items()
+        }
+        for query, diagnostics in report.items():
+            if not diagnostics:
+                lines.append(f"{query}: clean")
+                continue
+            lines.append(f"{query}: {len(diagnostics)} finding(s)")
+            lines.extend(f"  {d.render()}" for d in diagnostics)
+        threshold = "any severity" if args.strict else "warning+"
+        count = len(report)
+        lines.append(
+            f"analyzed {count} quer{'y' if count == 1 else 'ies'}: "
+            f"{plan_failing} finding(s) at {threshold}"
+        )
+
+    if "code" in sections:
+        section, code_failing = _analyze_code_section()
+        failing += code_failing
+        document["code"] = section
+        lines.extend(v["rendered"] for v in section["violations"])
+        summary = f"code: {code_failing} new violation(s)"
+        if section["suppressed"]:
+            summary += f", {section['suppressed']} suppressed by baseline"
+        lines.append(summary)
+
+    if "concurrency" in sections:
+        section, conc_failing = _analyze_concurrency_section(
+            static_only=args.static_only
+        )
+        failing += conc_failing
+        document["concurrency"] = section
+        lines.extend(v["rendered"] for v in section["guarded"])
+        lines.extend(
+            v["rendered"] for v in section["lock_order"]["violations"]
+        )
+        graph = section["lock_order"]["graph"]
+        lines.append(
+            f"concurrency: {len(section['guarded'])} guarded-by "
+            f"violation(s), {len(graph['cycles'])} lock-order cycle(s) "
+            f"[graph: {len(graph['locks'])} locks, "
+            f"{len(graph['edges'])} edges]"
+        )
+        runtime = section["runtime"]
+        if runtime is not None:
+            determinism = runtime["determinism"]
+            lines.append(
+                f"runtime: {determinism['queries']} queries x "
+                f"{determinism['threads']} threads — determinism "
+                f"{'OK' if determinism['identical'] else 'MISMATCH'}, "
+                f"{runtime['race']['violation_count']} race violation(s)"
+            )
+
+    document["ok"] = failing == 0
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+    return 1 if failing else 0
+
+
+def _analyze_plan_section(args):
+    """Plan diagnostics per query: ``({query: [Diagnostic]}, failing)``."""
     from repro.analysis import WARNING, plan_lint, worst
     from repro.queries import ALL_QUERY_NAMES
 
@@ -875,29 +1014,68 @@ def _command_analyze(args):
             )
     finally:
         plan_lint._lint_mode = previous_mode
+    return report, failing
 
-    if args.json:
-        print(json.dumps(
-            {
-                query: [d.to_dict() for d in diagnostics]
-                for query, diagnostics in report.items()
-            },
-            indent=2, sort_keys=True,
-        ))
-    else:
-        for query, diagnostics in report.items():
-            if not diagnostics:
-                print(f"{query}: clean")
-                continue
-            print(f"{query}: {len(diagnostics)} finding(s)")
-            for d in diagnostics:
-                print(f"  {d.render()}")
-        threshold = "any severity" if args.strict else "warning+"
-        print(
-            f"analyzed {len(queries)} quer{'y' if len(queries) == 1 else 'ies'}: "
-            f"{failing} finding(s) at {threshold}"
+
+def _analyze_code_section():
+    """The code-lint section of the analyze document (baseline applied)."""
+    import os
+
+    from repro.analysis import apply_baseline, lint_package, load_baseline
+
+    violations = lint_package()
+    baseline_path = _default_baseline_path()
+    baseline = (
+        load_baseline(baseline_path)
+        if baseline_path and os.path.exists(baseline_path)
+        else None
+    )
+    new, suppressed, stale = apply_baseline(violations, baseline)
+    section = {
+        "violations": [
+            dict(v.to_dict(), rendered=v.render()) for v in new
+        ],
+        "suppressed": suppressed,
+        "stale": sorted(stale),
+    }
+    return section, len(new)
+
+
+def _analyze_concurrency_section(static_only):
+    """The concurrency section: guarded-by + lock-order (+ runtime)."""
+    from repro.analysis import (
+        check_package,
+        lock_graph_document,
+        lockorder_package,
+    )
+
+    guarded = check_package()
+    lock_violations = lockorder_package()
+    graph = lock_graph_document()
+    section = {
+        "guarded": [
+            dict(v.to_dict(), rendered=v.render()) for v in guarded
+        ],
+        "lock_order": {
+            "violations": [
+                dict(v.to_dict(), rendered=v.render())
+                for v in lock_violations
+            ],
+            "graph": graph,
+        },
+        "runtime": None,
+    }
+    failing = len(guarded) + len(lock_violations)
+    if not static_only:
+        from repro.analysis.concurrency.determinism import (
+            run_concurrency_harness,
         )
-    return 1 if failing else 0
+
+        runtime = run_concurrency_harness()
+        section["runtime"] = runtime
+        if not runtime["ok"]:
+            failing += 1
+    return section, failing
 
 
 def _command_lint(args):
@@ -905,24 +1083,42 @@ def _command_lint(args):
     import os
 
     from repro.analysis import (
+        CONCURRENCY_BASELINE_NAME,
         apply_baseline,
+        check_package,
+        check_paths,
         lint_package,
         lint_paths,
         load_baseline,
+        lockorder_package,
+        lockorder_paths,
         write_baseline,
     )
 
-    violations = (
-        lint_paths(args.paths) if args.paths else lint_package()
-    )
+    if args.paths:
+        violations = lint_paths(args.paths)
+        concurrency = check_paths(args.paths) + lockorder_paths(args.paths)
+    else:
+        violations = lint_package()
+        concurrency = check_package() + lockorder_package()
+    concurrency.sort(key=lambda v: (v.path, v.line, v.rule, v.symbol))
 
     baseline_path = args.baseline
     if baseline_path is None:
         baseline_path = _default_baseline_path()
+    conc_path = args.concurrency_baseline
+    if conc_path is None:
+        conc_path = _default_baseline_path(CONCURRENCY_BASELINE_NAME)
     if args.update_baseline:
         target = baseline_path or "lint-baseline.json"
         write_baseline(target, violations)
         log.info("wrote %d violation(s) to %s", len(violations), target)
+        conc_target = conc_path or CONCURRENCY_BASELINE_NAME
+        write_baseline(conc_target, concurrency)
+        log.info(
+            "wrote %d concurrency violation(s) to %s",
+            len(concurrency), conc_target,
+        )
         return 0
 
     baseline = (
@@ -930,7 +1126,15 @@ def _command_lint(args):
         if baseline_path and os.path.exists(baseline_path)
         else None
     )
+    conc_baseline = (
+        load_baseline(conc_path)
+        if conc_path and os.path.exists(conc_path)
+        else None
+    )
     new, suppressed, stale = apply_baseline(violations, baseline)
+    conc_new, conc_suppressed, conc_stale = apply_baseline(
+        concurrency, conc_baseline
+    )
 
     if args.json:
         print(json.dumps(
@@ -938,11 +1142,18 @@ def _command_lint(args):
                 "violations": [v.to_dict() for v in new],
                 "suppressed": suppressed,
                 "stale": sorted(stale),
+                "concurrency": {
+                    "violations": [v.to_dict() for v in conc_new],
+                    "suppressed": conc_suppressed,
+                    "stale": sorted(conc_stale),
+                },
             },
             indent=2, sort_keys=True,
         ))
     else:
         for v in new:
+            print(v.render())
+        for v in conc_new:
             print(v.render())
         summary = f"{len(new)} new violation(s)"
         if suppressed:
@@ -954,21 +1165,33 @@ def _command_lint(args):
                 "(ratchet down with --update-baseline)"
             )
         print(summary)
-    return 1 if new else 0
+        conc_summary = f"{len(conc_new)} new concurrency violation(s)"
+        if conc_suppressed:
+            conc_summary += (
+                f", {conc_suppressed} suppressed by baseline"
+            )
+        if conc_stale:
+            conc_summary += (
+                f"; {len(conc_stale)} stale baseline entr"
+                f"{'y' if len(conc_stale) == 1 else 'ies'} "
+                "(ratchet down with --update-baseline)"
+            )
+        print(conc_summary)
+    return 1 if (new or conc_new) else 0
 
 
-def _default_baseline_path():
-    """lint-baseline.json in the working directory, else beside the
-    source tree (repo root when running from a checkout)."""
+def _default_baseline_path(name="lint-baseline.json"):
+    """*name* in the working directory, else beside the source tree
+    (repo root when running from a checkout)."""
     import os
 
     import repro
 
     candidates = [
-        "lint-baseline.json",
+        name,
         os.path.join(
             os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__))),
-            "lint-baseline.json",
+            name,
         ),
     ]
     for candidate in candidates:

@@ -12,10 +12,10 @@ array barely helps (Section 3, Figure 5).  Engines that scan sequentially
 with large requests run at the disk's sustained bandwidth.
 """
 
-import threading
 from collections import OrderedDict
 
 from repro.errors import BufferPoolError
+from repro.observe.race import guard_lock, shared_state
 from repro.observe.trace import NULL_OBSERVATION
 
 #: Effective-bandwidth divisor for scattered (index-order) page reads: the
@@ -34,15 +34,19 @@ SCATTERED_BANDWIDTH_PENALTY = 4.0
 #: read-modify-write that silently loses updates under interleaving.  Each
 #: ``read()`` takes the lock once, batching its deltas — negligible next
 #: to the page walk the read performs.
-GLOBAL_STATS = {
-    "page_hits": 0,
-    "page_misses": 0,
-    "evictions": 0,
-    "disk_requests": 0,
-    "bytes_transferred": 0,
-    "account_calls": 0,
-}
-_GLOBAL_STATS_LOCK = threading.Lock()
+_GLOBAL_STATS_LOCK = guard_lock("engine.buffer.GLOBAL_STATS")
+GLOBAL_STATS = shared_state(  # guarded-by: _GLOBAL_STATS_LOCK
+    "engine.buffer.GLOBAL_STATS",
+    {
+        "page_hits": 0,
+        "page_misses": 0,
+        "evictions": 0,
+        "disk_requests": 0,
+        "bytes_transferred": 0,
+        "account_calls": 0,
+    },
+    _GLOBAL_STATS_LOCK,
+)
 
 
 def global_stats():

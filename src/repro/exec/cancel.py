@@ -17,7 +17,7 @@ attribute read; no wall clock is consulted anywhere in the engine paths.
 
 import threading
 
-from repro.errors import QueryCancelled
+from repro.errors import QueryCancelled, ReproError
 
 
 class CancellationToken:
@@ -26,14 +26,36 @@ class CancellationToken:
     ``cancel()`` may be called from any thread, any number of times; the
     first call wins and its *reason* is what :meth:`raise_if_cancelled`
     reports.  Tokens are single-use: create a fresh one per query.
+    :meth:`bind` enforces that — the executor claims the token once, and
+    a second claim (token reuse across queries) raises
+    :class:`~repro.errors.ReproError` instead of silently inheriting a
+    stale cancellation.
     """
 
-    __slots__ = ("_event", "_reason", "_lock")
+    __slots__ = ("_event", "_reason", "_lock", "_bound")
 
     def __init__(self):
         self._event = threading.Event()
         self._reason = None
         self._lock = threading.Lock()
+        self._bound = False
+
+    def bind(self):
+        """Claim this token for exactly one query; returns the token.
+
+        Raises :class:`~repro.errors.ReproError` on a second bind: a
+        token that already drove one query may carry its cancellation
+        state, and reusing it would cancel (or fail to cancel) the wrong
+        query.
+        """
+        with self._lock:
+            if self._bound:
+                raise ReproError(
+                    "CancellationToken is single-use: it already drove a "
+                    "query; create a fresh token per query"
+                )
+            self._bound = True
+            return self
 
     def cancel(self, reason="cancelled"):
         """Request cancellation; returns True if this call was the first."""

@@ -23,6 +23,7 @@ import importlib
 
 from repro.errors import EngineError
 from repro.exec.physical import PhysicalPlan
+from repro.observe.race import guard_lock, shared_state
 
 #: engine key -> module that registers its operator set on import.
 ENGINE_MODULES = {
@@ -33,7 +34,13 @@ ENGINE_MODULES = {
 #: Execution paradigms the runtime knows how to drive.
 PARADIGMS = ("vector", "pull")
 
-_REGISTRY = {}  # engine key -> EngineOperatorSet
+#: engine key -> EngineOperatorSet.  Registration is import-driven, but
+#: imports can race when the query server's thread pool first touches two
+#: engines at once — mutate only under the lock.
+_REGISTRY_LOCK = guard_lock("exec.registry._REGISTRY")
+_REGISTRY = shared_state(  # guarded-by: _REGISTRY_LOCK
+    "exec.registry._REGISTRY", {}, _REGISTRY_LOCK,
+)
 
 
 class Lowered:
@@ -81,14 +88,15 @@ class EngineOperatorSet:
             raise EngineError(
                 f"unknown paradigm {paradigm!r}; expected one of {PARADIGMS}"
             )
-        if engine in _REGISTRY:
-            raise EngineError(
-                f"operator set for engine {engine!r} already registered"
-            )
         self.engine = engine
         self.paradigm = paradigm
         self.rules = []
-        _REGISTRY[engine] = self
+        with _REGISTRY_LOCK:
+            if engine in _REGISTRY:
+                raise EngineError(
+                    f"operator set for engine {engine!r} already registered"
+                )
+            _REGISTRY[engine] = self
 
     def operator(self, name, match, description="", guard=None):
         """Decorator: register the wrapped fn as operator *name*.

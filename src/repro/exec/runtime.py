@@ -24,10 +24,9 @@ physical children, which keeps recursion — and therefore tracing — in one
 place.
 """
 
-import threading
-
 from repro.errors import EngineError
 from repro.exec.registry import engine_ops, lower_plan
+from repro.observe.race import guard_lock, shared_state
 from repro.plan import logical as L
 from repro.relation import Relation
 
@@ -41,8 +40,12 @@ LOWER_CACHE_SIZE = 64
 #: and plain ``dict[k] += 1`` is a read-modify-write that loses updates
 #: under interleaving.  One uncontended lock per lower() call — one per
 #: plan execution — is noise next to the execution itself.
-LOWERING_STATS = {"hits": 0, "misses": 0, "evictions": 0}
-_LOWERING_STATS_LOCK = threading.Lock()
+_LOWERING_STATS_LOCK = guard_lock("exec.runtime.LOWERING_STATS")
+LOWERING_STATS = shared_state(  # guarded-by: _LOWERING_STATS_LOCK
+    "exec.runtime.LOWERING_STATS",
+    {"hits": 0, "misses": 0, "evictions": 0},
+    _LOWERING_STATS_LOCK,
+)
 
 
 def lowering_cache_stats():

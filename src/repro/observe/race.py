@@ -1,0 +1,289 @@
+"""Runtime race detection for annotated shared state.
+
+The static guarded-by checker (:mod:`repro.analysis.concurrency`) proves
+every *lexical* mutation site of a shared structure sits inside a ``with``
+block on its guard lock.  This module is the dynamic complement: shared
+structures are registered through :func:`shared_state` and their guard
+locks through :func:`guard_lock`, and when race checking is enabled
+(``REPRO_RACE_CHECK=1`` or :func:`enable_race_check`) every mutation
+records the accessor thread id and verifies the guard lock is actually
+held by the mutating thread.  Unguarded mutations are collected into a
+process-wide report (:func:`race_report`) that the query server exposes
+on ``/v1/stats`` and ``repro analyze --concurrency`` fails on.
+
+Disabled (the default), the wrappers cost one module-global read and a
+branch per mutation; structures behave exactly like the plain ``dict`` /
+``list`` they wrap, so production paths are unaffected.
+
+The harness never *prevents* a race — it is a detector, not a fence.  It
+is deliberately tolerant of its own concurrency: the recorder serializes
+on a private leaf lock that nothing else is acquired under.
+"""
+
+import os
+import threading
+
+#: Environment switch: any value other than empty/0/false/off/no enables
+#: the write barrier at import time.
+RACE_ENV = "REPRO_RACE_CHECK"
+
+#: Cap on retained per-event violation records (counters keep counting).
+MAX_VIOLATION_EVENTS = 200
+
+
+def _env_enabled():
+    raw = os.environ.get(RACE_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "off", "no")
+
+
+#: Leaf lock serializing the recorder's own bookkeeping below.  Nothing
+#: acquires any other lock while holding it.
+_STATE_LOCK = threading.Lock()
+
+#: Write-barrier switch; rebound only under the recorder lock.
+_enabled = _env_enabled()
+
+#: structure name -> {"threads": set of ids, "mutations": n, "unguarded": n}
+_structures = {}  # guarded-by: _STATE_LOCK
+
+#: Retained unguarded-mutation events (first MAX_VIOLATION_EVENTS).
+_violations = []  # guarded-by: _STATE_LOCK
+
+
+def race_check_enabled():
+    """True while the write barrier is recording."""
+    return _enabled
+
+
+def enable_race_check(on=True):
+    """Flip the write barrier at runtime (tests, ``repro analyze``)."""
+    global _enabled
+    with _STATE_LOCK:
+        _enabled = bool(on)
+
+
+def reset_race_state():
+    """Clear recorded accessors and violations (keeps the enabled flag)."""
+    with _STATE_LOCK:
+        _structures.clear()
+        del _violations[:]
+
+
+def _record(name, lock, op):
+    """Note one mutation of structure *name* under (or not under) *lock*."""
+    guarded = lock is not None and lock.held_by_current_thread()
+    tid = threading.get_ident()
+    with _STATE_LOCK:
+        if not _enabled:
+            return
+        entry = _structures.get(name)
+        if entry is None:
+            entry = {"threads": set(), "mutations": 0, "unguarded": 0}
+            _structures[name] = entry
+        entry["threads"].add(tid)
+        entry["mutations"] += 1
+        if not guarded:
+            entry["unguarded"] += 1
+            if len(_violations) < MAX_VIOLATION_EVENTS:
+                _violations.append({
+                    "structure": name,
+                    "op": op,
+                    "thread": tid,
+                    "lock": None if lock is None else lock.name,
+                })
+
+
+def race_report():
+    """The process-wide race-check report as a JSON-safe dict."""
+    with _STATE_LOCK:
+        structures = {
+            name: {
+                "threads": len(entry["threads"]),
+                "mutations": entry["mutations"],
+                "unguarded": entry["unguarded"],
+            }
+            for name, entry in sorted(_structures.items())
+        }
+        return {
+            "enabled": _enabled,
+            "structures": structures,
+            "violation_count": sum(
+                entry["unguarded"] for entry in _structures.values()
+            ),
+            "violations": [dict(event) for event in _violations],
+        }
+
+
+class InstrumentedLock:
+    """A lock that knows who holds it.
+
+    Wraps a :class:`threading.Lock` (or ``RLock`` with ``reentrant=True``)
+    and records the owning thread id so the write barrier can ask
+    :meth:`held_by_current_thread`.  The owner fields are only touched by
+    the thread that holds the underlying lock, so they need no further
+    synchronization.
+    """
+
+    __slots__ = ("name", "reentrant", "_lock", "_owner", "_depth")
+
+    def __init__(self, name="lock", reentrant=False):
+        self.name = name
+        self.reentrant = reentrant
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+        self._owner = None
+        self._depth = 0
+
+    def acquire(self, blocking=True, timeout=-1):
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._depth += 1
+        return acquired
+
+    def release(self):
+        self._depth -= 1
+        if self._depth <= 0:
+            self._owner = None
+            self._depth = 0
+        self._lock.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def held_by_current_thread(self):
+        return self._owner == threading.get_ident()
+
+    def locked(self):
+        return self._owner is not None
+
+    def __repr__(self):
+        return f"InstrumentedLock({self.name!r})"
+
+
+def guard_lock(name, reentrant=False):
+    """A guard lock for one shared structure (use as ``with lock:``)."""
+    return InstrumentedLock(name, reentrant=reentrant)
+
+
+class SharedStateDict(dict):
+    """A dict whose mutators report to the race recorder when enabled."""
+
+    __slots__ = ("_race_name", "_race_lock")
+
+    def _note(self, op):
+        if not _enabled:
+            return
+        _record(getattr(self, "_race_name", "?"),
+                getattr(self, "_race_lock", None), op)
+
+    def __setitem__(self, key, value):
+        self._note("__setitem__")
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key):
+        self._note("__delitem__")
+        dict.__delitem__(self, key)
+
+    def pop(self, *args):
+        self._note("pop")
+        return dict.pop(self, *args)
+
+    def popitem(self):
+        self._note("popitem")
+        return dict.popitem(self)
+
+    def clear(self):
+        self._note("clear")
+        dict.clear(self)
+
+    def update(self, *args, **kwargs):
+        self._note("update")
+        dict.update(self, *args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        self._note("setdefault")
+        return dict.setdefault(self, key, default)
+
+
+class SharedStateList(list):
+    """A list whose mutators report to the race recorder when enabled."""
+
+    __slots__ = ("_race_name", "_race_lock")
+
+    def _note(self, op):
+        if not _enabled:
+            return
+        _record(getattr(self, "_race_name", "?"),
+                getattr(self, "_race_lock", None), op)
+
+    def append(self, value):
+        self._note("append")
+        list.append(self, value)
+
+    def extend(self, values):
+        self._note("extend")
+        list.extend(self, values)
+
+    def insert(self, index, value):
+        self._note("insert")
+        list.insert(self, index, value)
+
+    def remove(self, value):
+        self._note("remove")
+        list.remove(self, value)
+
+    def pop(self, *args):
+        self._note("pop")
+        return list.pop(self, *args)
+
+    def clear(self):
+        self._note("clear")
+        list.clear(self)
+
+    def sort(self, **kwargs):
+        self._note("sort")
+        list.sort(self, **kwargs)
+
+    def reverse(self):
+        self._note("reverse")
+        list.reverse(self)
+
+    def __setitem__(self, index, value):
+        self._note("__setitem__")
+        list.__setitem__(self, index, value)
+
+    def __delitem__(self, index):
+        self._note("__delitem__")
+        list.__delitem__(self, index)
+
+    def __iadd__(self, values):
+        self._note("__iadd__")
+        list.extend(self, values)
+        return self
+
+
+def shared_state(name, initial, lock):
+    """Register a shared mutable structure with the race recorder.
+
+    Returns a monitored ``dict`` or ``list`` seeded from *initial* whose
+    mutators verify *lock* (an :class:`InstrumentedLock`) is held whenever
+    race checking is enabled.  The construction itself records nothing —
+    init-time writes are allowed by convention.
+    """
+    if isinstance(initial, dict):
+        wrapped = SharedStateDict(initial)
+    elif isinstance(initial, (list, tuple)):
+        wrapped = SharedStateList(initial)
+    else:
+        raise TypeError(
+            f"shared_state only wraps dicts and lists, not "
+            f"{type(initial).__name__}"
+        )
+    wrapped._race_name = name
+    wrapped._race_lock = lock
+    return wrapped

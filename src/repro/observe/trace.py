@@ -28,14 +28,21 @@ import time
 from contextlib import contextmanager
 
 from repro.observe.metrics import NULL_REGISTRY
+from repro.observe.race import guard_lock, shared_state
 
 #: Monotonic span-id source: every Span gets a process-unique integer id so
 #: exported traces and structured log lines can correlate on it.
+#: ``itertools.count`` advances atomically under the GIL.
 _SPAN_IDS = itertools.count(1)
 
 #: Stack of tracers currently inside :meth:`Tracer.run` (innermost last);
 #: :func:`active_span_id` reads it so log lines can carry the span id.
-_ACTIVE_TRACERS = []
+#: Concurrent sessions each run their own tracer, so entry/exit mutations
+#: from the server's worker threads must serialize.
+_ACTIVE_TRACERS_LOCK = guard_lock("observe.trace._ACTIVE_TRACERS")
+_ACTIVE_TRACERS = shared_state(  # guarded-by: _ACTIVE_TRACERS_LOCK
+    "observe.trace._ACTIVE_TRACERS", [], _ACTIVE_TRACERS_LOCK,
+)
 
 
 def active_span_id():
@@ -240,11 +247,13 @@ class Tracer:
         (and through it the structured JSON logger) can name the span any
         log line was emitted under."""
         self._push(self.root)
-        _ACTIVE_TRACERS.append(self)
+        with _ACTIVE_TRACERS_LOCK:
+            _ACTIVE_TRACERS.append(self)
         try:
             yield self.root
         finally:
-            _ACTIVE_TRACERS.remove(self)
+            with _ACTIVE_TRACERS_LOCK:
+                _ACTIVE_TRACERS.remove(self)
             self._pop()
 
     @contextmanager

@@ -230,6 +230,10 @@ class QueryServer:
         document["plan_cache"] = self.connection.plan_cache_stats()
         with self._session_lock:
             document["sessions"] = {"open": len(self._sessions)}
+        from repro.observe.race import race_check_enabled, race_report
+
+        if race_check_enabled():
+            document["race"] = race_report()
         return document
 
 

@@ -32,12 +32,12 @@ the compressed footprint and lets the operators read compressed byte
 ranges and run-skip — the mode whose simulated costs show the speedup.
 """
 
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import StorageError
+from repro.observe.race import guard_lock, shared_state
 
 #: Uncompressed storage: one int64 per value.
 VALUE_BYTES = 8
@@ -124,27 +124,31 @@ class CompressionConfig:
 # process-wide counters (perf-observatory style: plain ints under a lock)
 # ---------------------------------------------------------------------------
 
-COMPRESS_STATS = {
-    "columns_compressed": 0,
-    "columns_raw": 0,
-    "logical_bytes": 0,
-    "compressed_bytes": 0,
-    "bytes_scanned": 0,
-    "logical_bytes_scanned": 0,
-    "runs_skipped": 0,
-    "compressed_reads": 0,
-}
-_STATS_LOCK = threading.Lock()
+_COMPRESS_STATS_LOCK = guard_lock("storage.compress.COMPRESS_STATS")
+COMPRESS_STATS = shared_state(  # guarded-by: _COMPRESS_STATS_LOCK
+    "storage.compress.COMPRESS_STATS",
+    {
+        "columns_compressed": 0,
+        "columns_raw": 0,
+        "logical_bytes": 0,
+        "compressed_bytes": 0,
+        "bytes_scanned": 0,
+        "logical_bytes_scanned": 0,
+        "runs_skipped": 0,
+        "compressed_reads": 0,
+    },
+    _COMPRESS_STATS_LOCK,
+)
 
 
 def compress_stats():
     """Snapshot of the process-wide compression counters."""
-    with _STATS_LOCK:
+    with _COMPRESS_STATS_LOCK:
         return dict(COMPRESS_STATS)
 
 
 def reset_compress_stats():
-    with _STATS_LOCK:
+    with _COMPRESS_STATS_LOCK:
         for key in COMPRESS_STATS:
             COMPRESS_STATS[key] = 0
 
@@ -152,7 +156,7 @@ def reset_compress_stats():
 def note_column(encoding, n_values):
     """Account one encoded (or raw-kept) column at table-build time."""
     logical = n_values * VALUE_BYTES
-    with _STATS_LOCK:
+    with _COMPRESS_STATS_LOCK:
         COMPRESS_STATS["logical_bytes"] += logical
         if encoding is None:
             COMPRESS_STATS["columns_raw"] += 1
@@ -164,7 +168,7 @@ def note_column(encoding, n_values):
 
 def note_scan(compressed_bytes, logical_bytes):
     """Account one compressed read (operators call this per fetch)."""
-    with _STATS_LOCK:
+    with _COMPRESS_STATS_LOCK:
         COMPRESS_STATS["bytes_scanned"] += int(compressed_bytes)
         COMPRESS_STATS["logical_bytes_scanned"] += int(logical_bytes)
         COMPRESS_STATS["compressed_reads"] += 1
@@ -173,7 +177,7 @@ def note_scan(compressed_bytes, logical_bytes):
 def note_runs_skipped(n):
     """Account rows whose per-row work collapsed into per-run work."""
     if n:
-        with _STATS_LOCK:
+        with _COMPRESS_STATS_LOCK:
             COMPRESS_STATS["runs_skipped"] += int(n)
 
 

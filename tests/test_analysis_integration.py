@@ -191,7 +191,28 @@ class TestAnalyzeCommand:
         code = main(["analyze", "q1", "--json"] + self.ARGS)
         assert code == 0
         document = json.loads(capsys.readouterr().out)
-        assert set(document) == {"q1"}
+        assert document["version"] == 1
+        assert document["sections"] == ["plan"]
+        assert set(document["plan"]) == {"q1"}
+        assert document["ok"] is True
+
+    def test_unified_json_document(self, capsys):
+        code = main(
+            ["analyze", "q1", "--code", "--concurrency", "--static-only",
+             "--json"] + self.ARGS
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sections"] == ["plan", "code", "concurrency"]
+        assert document["code"]["violations"] == []
+        concurrency = document["concurrency"]
+        assert concurrency["guarded"] == []
+        assert concurrency["lock_order"]["graph"]["cycles"] == []
+        assert concurrency["runtime"] is None  # --static-only
+        assert document["ok"] is True
+
+    def test_no_sections_is_an_error(self):
+        assert main(["analyze"]) == 2
 
 
 class TestLintCommand:

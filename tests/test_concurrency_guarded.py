@@ -1,0 +1,320 @@
+"""The guarded-by static checker (repro.analysis.concurrency.guarded).
+
+Fixture modules exercise each rule in and out of violation; the final
+tests assert the shipped package tree is clean and that an injected
+violation fails the ``repro lint`` CLI loudly.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import CONCURRENCY_RULES, check_package
+from repro.analysis.concurrency import check_paths, check_source
+from repro.cli import main
+
+
+def check(source, relpath="repro/engine/fixture.py"):
+    return check_source(textwrap.dedent(source), relpath)
+
+
+def rules(violations):
+    return [v.rule for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# the convention, in and out of violation
+# ---------------------------------------------------------------------------
+
+class TestGuardedMutation:
+    CLEAN = """\
+        import threading
+
+        _LOCK = threading.Lock()
+        STATS = {"hits": 0}  # guarded-by: _LOCK
+
+        def bump():
+            with _LOCK:
+                STATS["hits"] += 1
+    """
+
+    def test_guarded_mutation_is_clean(self):
+        assert check(self.CLEAN) == []
+
+    def test_unguarded_item_write_is_flagged(self):
+        violations = check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            STATS = {"hits": 0}  # guarded-by: _LOCK
+
+            def bump():
+                STATS["hits"] += 1
+        """)
+        assert rules(violations) == ["unguarded-mutation"]
+        v = violations[0]
+        assert v.symbol == "STATS"
+        assert v.severity == "error"
+        assert "with _LOCK" in v.message
+
+    def test_wrong_lock_held_is_flagged(self):
+        violations = check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            _OTHER = threading.Lock()
+            STATS = {"hits": 0}  # guarded-by: _LOCK
+
+            def bump():
+                with _OTHER:
+                    STATS["hits"] += 1
+        """)
+        assert rules(violations) == ["unguarded-mutation"]
+
+    def test_mutating_method_outside_lock_is_flagged(self):
+        violations = check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            ACTIVE = []  # guarded-by: _LOCK
+
+            def register(item):
+                ACTIVE.append(item)
+        """)
+        assert rules(violations) == ["unguarded-mutation"]
+        assert ".append()" in violations[0].message
+
+    def test_annotation_on_previous_line_works(self):
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            # guarded-by: _LOCK
+            STATS = {"hits": 0}
+
+            def bump():
+                with _LOCK:
+                    STATS["hits"] += 1
+        """) == []
+
+    def test_module_level_writes_are_init_time(self):
+        # Import-time setup needs no lock: the convention only covers
+        # function scope, where concurrent threads can be.
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            STATS = {}  # guarded-by: _LOCK
+            STATS["hits"] = 0
+            STATS.update(misses=0)
+        """) == []
+
+    def test_local_shadowing_is_not_flagged(self):
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            STATS = {"hits": 0}  # guarded-by: _LOCK
+
+            def snapshot():
+                STATS = {}
+                STATS["hits"] = 1
+                return STATS
+        """) == []
+
+    def test_delete_outside_lock_is_flagged(self):
+        violations = check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            CACHE = {}  # guarded-by: _LOCK
+
+            def evict(key):
+                del CACHE[key]
+        """)
+        assert rules(violations) == ["unguarded-mutation"]
+
+
+class TestAllowlist:
+    def test_unguarded_ok_on_the_line(self):
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            STATS = {"hits": 0}  # guarded-by: _LOCK
+
+            def bump():
+                STATS["hits"] += 1  # unguarded-ok: single-threaded path
+        """) == []
+
+    def test_unguarded_ok_on_the_line_above(self):
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            STATS = {"hits": 0}  # guarded-by: _LOCK
+
+            def bump():
+                # unguarded-ok: single-threaded path
+                STATS["hits"] += 1
+        """) == []
+
+    def test_multiline_justification_covers_the_next_code_line(self):
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            STATS = {"hits": 0}  # guarded-by: _LOCK
+
+            def bump():
+                # unguarded-ok: rebound by the parent before the pool
+                # forks; never raced by query threads
+                STATS["hits"] += 1
+        """) == []
+
+
+class TestUnannotatedSharedState:
+    def test_mutated_bare_container_is_flagged(self):
+        violations = check("""\
+            CACHE = {}
+
+            def put(key, value):
+                CACHE[key] = value
+        """)
+        assert rules(violations) == ["unannotated-shared-state"]
+        assert "guarded-by" in violations[0].message
+
+    def test_read_only_container_is_fine(self):
+        assert check("""\
+            TABLE = {"a": 1}
+
+            def get(key):
+                return TABLE[key]
+        """) == []
+
+    def test_constructor_calls_count_as_containers(self):
+        violations = check("""\
+            from collections import OrderedDict
+
+            CACHE = OrderedDict()
+
+            def put(key, value):
+                CACHE[key] = value
+        """)
+        assert rules(violations) == ["unannotated-shared-state"]
+
+
+class TestUnknownGuardLock:
+    def test_annotation_must_name_a_defined_lock(self):
+        violations = check("""\
+            STATS = {"hits": 0}  # guarded-by: _MISSING
+
+            def bump():
+                with _MISSING:
+                    STATS["hits"] += 1
+        """)
+        assert "unknown-guard-lock" in rules(violations)
+
+
+class TestGlobalRebind:
+    def test_bare_rebind_is_flagged(self):
+        violations = check("""\
+            _SINGLETON = None
+
+            def get():
+                global _SINGLETON
+                _SINGLETON = object()
+                return _SINGLETON
+        """)
+        assert rules(violations) == ["unsynchronized-global-rebind"]
+
+    def test_rebind_under_a_lock_is_fine(self):
+        assert check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            _SINGLETON = None
+
+            def get():
+                global _SINGLETON
+                with _LOCK:
+                    _SINGLETON = object()
+                    return _SINGLETON
+        """) == []
+
+    def test_rebind_with_allowlist_is_fine(self):
+        assert check("""\
+            _SINGLETON = None
+
+            def get():
+                global _SINGLETON
+                # unguarded-ok: set once before threads start
+                _SINGLETON = object()
+                return _SINGLETON
+        """) == []
+
+    def test_annotated_rebind_requires_its_guard(self):
+        violations = check("""\
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE = {}  # guarded-by: _LOCK
+
+            def reset():
+                global _CACHE
+                _CACHE = {}
+        """)
+        assert rules(violations) == ["unguarded-mutation"]
+
+
+# ---------------------------------------------------------------------------
+# rule catalog / package tree / CLI fail-loud
+# ---------------------------------------------------------------------------
+
+def test_rule_catalog_covers_emitted_rules():
+    assert set(CONCURRENCY_RULES) == {
+        "unannotated-shared-state",
+        "unguarded-mutation",
+        "unknown-guard-lock",
+        "unsynchronized-global-rebind",
+    }
+
+
+def test_shipped_package_tree_is_clean():
+    # The acceptance gate: every shared structure in the codebase is
+    # annotated and every mutation site guarded (or allowlisted).
+    assert check_package() == []
+
+
+def test_injected_violation_fails_lint_cli(tmp_path, capsys):
+    package = tmp_path / "repro" / "engine"
+    package.mkdir(parents=True)
+    (package / "racy.py").write_text(textwrap.dedent("""\
+        import threading
+
+        _LOCK = threading.Lock()
+        STATS = {"hits": 0}  # guarded-by: _LOCK
+
+        def bump():
+            STATS["hits"] += 1
+    """))
+    code = main(["lint", str(tmp_path / "repro")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "unguarded-mutation" in out
+    assert "1 new concurrency violation(s)" in out
+
+
+def test_check_paths_keys_relative_to_argument_parent(tmp_path):
+    package = tmp_path / "repro"
+    package.mkdir()
+    (package / "mod.py").write_text(
+        "CACHE = {}\n\ndef put(k, v):\n    CACHE[k] = v\n"
+    )
+    violations = check_paths([str(package)])
+    assert [v.path for v in violations] == ["repro/mod.py"]
+
+
+def test_syntax_error_propagates():
+    with pytest.raises(SyntaxError):
+        check_source("def broken(:\n", "repro/engine/broken.py")

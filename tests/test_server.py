@@ -258,6 +258,40 @@ class TestQueryServer:
             exposition = response.read().decode("utf-8")
         assert "server_latency_ms" in exposition
 
+    def test_stats_expose_race_report_when_enabled(self, server):
+        from repro.observe.race import (
+            enable_race_check,
+            race_check_enabled,
+            reset_race_state,
+        )
+
+        was_enabled = race_check_enabled()
+        enable_race_check(True)
+        reset_race_state()
+        try:
+            post_query(server.address, {"query": "q1"})
+            with urllib.request.urlopen(
+                server.address + "/v1/stats", timeout=10
+            ) as response:
+                stats = json.loads(response.read())
+        finally:
+            reset_race_state()
+            enable_race_check(was_enabled)
+        assert stats["race"]["enabled"] is True
+        assert stats["race"]["violation_count"] == 0
+        assert "engine.buffer.GLOBAL_STATS" in stats["race"]["structures"]
+
+    def test_stats_omit_race_report_when_disabled(self, server):
+        from repro.observe.race import race_check_enabled
+
+        if race_check_enabled():
+            pytest.skip("REPRO_RACE_CHECK is enabled in this environment")
+        with urllib.request.urlopen(
+            server.address + "/v1/stats", timeout=10
+        ) as response:
+            stats = json.loads(response.read())
+        assert "race" not in stats
+
     def test_sessions_lifecycle_and_defaults(self, server):
         request = urllib.request.Request(
             server.address + "/v1/sessions",
