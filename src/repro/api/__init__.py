@@ -272,7 +272,7 @@ class Session:
     # -- querying -------------------------------------------------------
 
     def query(self, text, *, timeout=None, lint=None, mode=None,
-              optimize=False, scope=None, profile=False):
+              optimize=False, scope=None, profile=False, workers=None):
         """Run one query; returns a :class:`Result`.
 
         Parameters
@@ -303,6 +303,11 @@ class Session:
         profile:
             Capture the full EXPLAIN ANALYZE profile; available on
             ``result.profile``.  Simulated costs are unaffected.
+        workers:
+            Per-query degree-of-parallelism cap.  Clamps the engine's
+            configured morsel parallelism *down* for this query (it can
+            never raise it); ``None`` runs at the engine's setting.
+            Results and simulated costs are identical at any value.
         """
         self._check_open()
         if mode not in _MODES:
@@ -324,7 +329,7 @@ class Session:
                                  mode=effective_lint)
         relation, timing, query_profile = connection._execute(
             plan, timeout=effective_timeout, mode=mode,
-            profile=profile, query=text,
+            profile=profile, query=text, workers=workers,
         )
         n_rows = relation.n_rows
         rows = relation.decoded_tuples(
@@ -511,12 +516,19 @@ class Connection:
     # -- execution ------------------------------------------------------
 
     def _execute(self, plan, timeout=None, mode=None, profile=False,
-                 query=""):
+                 query="", workers=None):
         """Run *plan* under the execution lock with optional cooperative
-        timeout; returns ``(relation, timing, profile_or_none)``."""
+        timeout; returns ``(relation, timing, profile_or_none)``.
+
+        *workers*, when given, installs a per-query degree-of-parallelism
+        clamp on the runtime for the duration of this execution (the
+        server's admission path sets it from the request).
+        """
         engine = self.store.engine
         runtime = engine.executor() if hasattr(engine, "executor") else None
         token = timer = None
+        if workers is not None and runtime is None:
+            workers = None  # engines without a runtime are always serial
         if timeout is not None:
             if timeout <= 0:
                 raise QueryTimeout(
@@ -535,6 +547,8 @@ class Connection:
         with self._exec_lock:
             self._check_open()
             try:
+                if workers is not None:
+                    runtime.dop_override = int(workers)
                 if token is not None:
                     runtime.cancel_token = token
                     timer.start()
@@ -563,6 +577,8 @@ class Connection:
                     ) from exc
                 raise
             finally:
+                if workers is not None:
+                    runtime.dop_override = None
                 if token is not None:
                     timer.cancel()
                     runtime.cancel_token = None

@@ -728,6 +728,88 @@ def experiment_compression(dataset, machine=MACHINE_B):
     )
 
 
+# ---------------------------------------------------------------------------
+# Scaling sweep — morsel-driven parallelism, wall-clock vs workers
+# ---------------------------------------------------------------------------
+
+def experiment_scaling(dataset, queries=("q2", "q3", "q4", "q6"),
+                       worker_counts=(1, 2, 4), machine=MACHINE_B,
+                       mode="cold"):
+    """Scaling sweep: wall-clock effect of morsel-driven parallelism.
+
+    Not a paper figure — the paper's engines are single-threaded.  The
+    sweep runs the starred scan-heavy queries on the MonetDB-like engine
+    at increasing intra-query degrees of parallelism.  Simulated timings
+    are the *same number* at every worker count (the parallel runtime is
+    deterministic by construction), so the rendered table carries one
+    simulated column per query and the sweep's actual payload — wall-clock
+    milliseconds per degree of parallelism plus morsel/steal counters —
+    rides in ``meta``.  A worker count whose simulated timing deviates
+    from the serial baseline fails the experiment outright.
+    """
+    import time
+
+    from repro.exec.morsel import morsel_stats, reset_morsel_stats
+
+    worker_counts = sorted({int(w) for w in worker_counts})
+    if not worker_counts:
+        raise BenchmarkError("scaling sweep needs at least one worker count")
+    baseline = {}
+    rows = []
+    wall_ms = {}
+    counters = {}
+    for workers in worker_counts:
+        reset_morsel_stats()
+        vert = deploy(
+            dataset, "MonetDB", "vert", machine=machine, workers=workers
+        )
+        triple = deploy(
+            dataset, "MonetDB", "triple", "PSO", machine=machine,
+            workers=workers,
+        )
+        wall = {}
+        for query in queries:
+            for deployment, label in ((vert, "vert"), (triple, "triple")):
+                runner = BenchmarkRunner(deployment.engine)
+                started = time.perf_counter()
+                result = runner.run(query, deployment.executor(query), mode)
+                wall[f"{query} {label}"] = round(
+                    (time.perf_counter() - started) * 1000.0, 3
+                )
+                simulated = round(
+                    deployment.scaled_seconds(result.timing.real_seconds), 4
+                )
+                key = f"{query} {label}"
+                if workers == worker_counts[0]:
+                    baseline[key] = simulated
+                    rows.append([label, query, simulated])
+                elif simulated != baseline[key]:
+                    raise BenchmarkError(
+                        f"parallel run diverged from the serial baseline: "
+                        f"{key} at workers={workers} simulated {simulated}s "
+                        f"vs {baseline[key]}s"
+                    )
+        wall_ms[str(workers)] = wall
+        counters[str(workers)] = morsel_stats()
+    return ExperimentResult(
+        name="scaling",
+        title="Scaling sweep: morsel-driven parallelism (MonetDB, "
+              "simulated scaled seconds — identical at every worker count)",
+        headers=["scheme", "query", f"{mode} real (s)"],
+        rows=rows,
+        notes=[
+            "simulated timings are invariant across worker counts by "
+            "construction; wall-clock per degree of parallelism rides in "
+            "the JSON twin's meta"
+        ],
+        meta={
+            "worker_counts": worker_counts,
+            "wall_clock_ms": wall_ms,
+            "parallel_counters": counters,
+        },
+    )
+
+
 class _SplitDataset:
     """Duck-typed dataset view over a transformed triple list.
 

@@ -85,7 +85,7 @@ class Deployment:
 
 
 def deploy(dataset, system, scheme, clustering="PSO", machine=MACHINE_B,
-           cache=None, compression=None):
+           cache=None, compression=None, workers=None):
     """Create one deployment of the grid over *dataset*.
 
     The engine runs as a 1:N scale model: fixed latencies and per-query
@@ -103,6 +103,10 @@ def deploy(dataset, system, scheme, clustering="PSO", machine=MACHINE_B,
     ``None`` reads the ``REPRO_COMPRESS`` environment variable, so a whole
     benchmark run can be compressed without threading the option through
     every experiment.
+
+    *workers* sets the MonetDB-like engine's intra-query degree of
+    parallelism (morsel-driven; results and simulated costs are identical
+    at any value).  The default ``None`` reads ``REPRO_WORKERS``.
     """
     # ``dataset.triples`` may be lazily materialized (figure-7 splits); only
     # touch it on paths that actually need the raw triples — the C-Store
@@ -121,7 +125,7 @@ def deploy(dataset, system, scheme, clustering="PSO", machine=MACHINE_B,
     elif system == "MonetDB":
         engine = ColumnStoreEngine(
             machine=scaled_machine, costs=COLUMN_STORE_COSTS.scaled(scale),
-            compression=compression,
+            compression=compression, workers=workers,
         )
     elif system == "C-Store":
         # The replica's synchronous 64 KB requests cap its read rate at the

@@ -112,6 +112,12 @@ def build_parser():
              "REPRO_BENCH_JOBS or 1; results are byte-identical to serial)",
     )
     bench.add_argument(
+        "--workers", type=int, default=None,
+        help="intra-query degree of parallelism on the column-store "
+             "engines (sets REPRO_WORKERS for the run; results and "
+             "simulated timings are byte-identical at any value)",
+    )
+    bench.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write machine-readable results (timings + wall-clock "
              "meta) to PATH ('-' for stdout instead of the rendered text)",
@@ -145,6 +151,11 @@ def build_parser():
     )
     profile.add_argument("--clustering", default="PSO")
     profile.add_argument("--mode", choices=("cold", "hot"), default="cold")
+    profile.add_argument(
+        "--workers", type=int, default=None,
+        help="intra-query degree of parallelism (sets REPRO_WORKERS; "
+             "per-morsel child spans appear under parallel operators)",
+    )
     profile.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable profile document",
@@ -203,6 +214,14 @@ def build_parser():
              "(sets REPRO_COMPRESS for the run; recorded as a run "
              "parameter so compressed and uncompressed baselines get "
              "distinct config fingerprints)",
+    )
+    record.add_argument(
+        "--workers", type=int, default=None,
+        help="intra-query degree of parallelism (sets REPRO_WORKERS; "
+             "NOT part of the config fingerprint — simulated costs are "
+             "identical at any value, so serial and parallel snapshots "
+             "stay byte-identity comparable; morsel/steal counters land "
+             "in the snapshot's counters section)",
     )
 
     compare = perf_sub.add_parser(
@@ -265,6 +284,12 @@ def build_parser():
     serve.add_argument(
         "--timeout", type=float, default=None,
         help="default per-query timeout in seconds (none by default)",
+    )
+    serve.add_argument(
+        "--max-dop", type=int, default=None,
+        help="admission cap on per-query intra-query parallelism; "
+             "requests asking for more workers are clamped, never "
+             "rejected (default: no cap)",
     )
 
     replay = sub.add_parser(
@@ -519,6 +544,7 @@ _EXPERIMENTS = {
     "figure6": ("experiment_figure6", True),
     "figure7": ("experiment_figure7", True),
     "compression": ("experiment_compression", True),
+    "scaling": ("experiment_scaling", True),
 }
 
 
@@ -544,6 +570,8 @@ def _command_bench(args):
 
     if args.no_cache:
         os.environ["REPRO_CACHE_DISABLE"] = "1"
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     results = _run_experiments(names, args, jobs=args.jobs)
 
@@ -636,7 +664,10 @@ def _store_from_args(args):
 
 def _command_profile(args):
     import json
+    import os
 
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     store = _store_from_args(args)
     with store.connection().session() as session:
         profile = session.profile(args.query, mode=args.mode)
@@ -677,11 +708,16 @@ def _command_serve(args):
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_timeout=args.timeout,
+        max_dop=args.max_dop,
     )
+    dop = getattr(store.engine, "workers", 1)
     print(
         f"serving {store.engine_kind}/{store.scheme} "
         f"({store.n_triples} triples) at {server.address} "
-        f"[{args.workers} workers, queue {args.queue_depth}]"
+        f"[{args.workers} workers, queue {args.queue_depth}, "
+        f"dop {dop}"
+        + (f" (max {args.max_dop})" if args.max_dop else "")
+        + "]"
     )
     print("POST /v1/query  GET /v1/stats  GET /metrics  (Ctrl-C to stop)")
     server.serve_forever()
@@ -812,6 +848,11 @@ def _command_perf_record(args):
     compression = args.compress or os.environ.get("REPRO_COMPRESS") or None
     if compression:
         os.environ["REPRO_COMPRESS"] = compression
+    # Deliberately NOT a fingerprint parameter: simulated costs are
+    # byte-identical at any degree of parallelism, so serial baselines
+    # gate parallel runs (the CI parity job depends on this).
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     run_name = args.name or "_".join(names)
     parameters = {

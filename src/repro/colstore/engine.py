@@ -1,6 +1,13 @@
 """The column-store engine facade."""
 
 from repro.colstore.table import ColumnTable
+from repro.exec.morsel import (
+    MAX_WORKERS,
+    ParallelContext,
+    morsel_rows_from_env,
+    shared_pool,
+    workers_from_env,
+)
 from repro.exec.runtime import Runtime
 from repro.engine import (
     COLUMN_STORE_COSTS,
@@ -41,7 +48,7 @@ class ColumnStoreEngine:
     def __init__(self, machine=MACHINE_A, costs=COLUMN_STORE_COSTS,
                  page_size=DEFAULT_PAGE_SIZE, buffer_bytes=None,
                  max_run_bytes=DEFAULT_MAX_RUN_BYTES, observe=None,
-                 compression=None):
+                 compression=None, workers=None):
         self.machine = machine
         self.costs = costs
         self.compression = CompressionConfig.coerce(compression)
@@ -55,11 +62,48 @@ class ColumnStoreEngine:
             observe=self.observe,
         )
         self._tables = {}
+        self._parallel = None
         self._executor = Runtime(self)
+        if workers is None:
+            workers = workers_from_env(1)
+        self.install_parallelism(workers)
 
     def executor(self):
         """The engine's execution runtime (unified layer)."""
         return self._executor
+
+    # ------------------------------------------------------------------
+    # intra-query parallelism
+    # ------------------------------------------------------------------
+
+    def install_parallelism(self, workers):
+        """Configure the engine's degree of parallelism.
+
+        ``workers <= 1`` removes the parallel context: the guarded
+        ``parallel-*`` operators stop binding and plans lower exactly as
+        on a serial engine.  Higher values attach the process-wide
+        work-stealing pool (``workers - 1`` helper threads; the query
+        thread is lane 0).  Either way the lowered-plan cache is dropped,
+        since the change alters which guarded operators match.
+        """
+        workers = max(1, min(int(workers), MAX_WORKERS))
+        if workers <= 1:
+            self._parallel = None
+        else:
+            self._parallel = ParallelContext(
+                workers, shared_pool(workers - 1), morsel_rows_from_env()
+            )
+        self._executor.invalidate_lowered()
+        return self._parallel
+
+    def parallelism(self):
+        """The installed :class:`ParallelContext`, or ``None`` (serial)."""
+        return self._parallel
+
+    @property
+    def workers(self):
+        """The configured degree of parallelism (1 when serial)."""
+        return 1 if self._parallel is None else self._parallel.dop
 
     def lower(self, plan):
         """Physical plan for *plan* under this engine's operator set."""

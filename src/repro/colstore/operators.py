@@ -25,7 +25,6 @@ legacy executor's dispatch.
 """
 
 import math
-
 import numpy as np
 
 from repro.colstore import vectorops as V
@@ -35,8 +34,10 @@ from repro.exec.common import (
     extend_fill_value,
     sort_cost,
 )
+from repro.exec.morsel import effective_dop, split_morsels
 from repro.exec.registry import EngineOperatorSet, Lowered, match_type
 from repro.exec.runtime import Intermediate
+from repro.observe.trace import wall_now
 from repro.plan import logical as L
 from repro.plan.predicates import is_column_comparison
 from repro.relation import Relation
@@ -144,9 +145,15 @@ def _note_runs_skipped(rt, segment, n):
         ).inc(int(n))
 
 
-def _fetch(rt, table, column, lo, hi, positions):
-    """Read column values for the candidate rows, charging I/O."""
-    array = table.array(column)
+def _fetch_cost(rt, table, column, lo, hi, positions):
+    """Charge exactly the I/O a :func:`_fetch` of the same rows would.
+
+    Split out so the morsel coordinator can replay the serial charge
+    sequence over worker-produced positions: buffer-pool request counts
+    depend on global access order (sequential coalescing, run chunking,
+    the scattered-read penalty), so cost accounting must stay a single
+    serial stream even when the data work ran on many lanes.
+    """
     segment = table.segment(column)
     encoding = table.physical_encoding(column)
     if positions is None:
@@ -154,9 +161,9 @@ def _fetch(rt, table, column, lo, hi, positions):
             _read_compressed(rt, segment, encoding, lo, hi)
         else:
             rt.pool.read(segment, lo * VALUE_BYTES, (hi - lo) * VALUE_BYTES)
-        return array[lo:hi]
+        return
     if len(positions) == 0:
-        return np.empty(0, dtype=np.int64)
+        return
     if encoding is not None:
         pages = encoding.pages_for_rows(positions, segment.page_size)
         rt.pool.read_pages(segment, pages, scattered=True)
@@ -167,6 +174,16 @@ def _fetch(rt, table, column, lo, hi, positions):
     else:
         pages = np.unique(positions * VALUE_BYTES // segment.page_size)
         rt.pool.read_pages(segment, pages, scattered=True)
+
+
+def _fetch(rt, table, column, lo, hi, positions):
+    """Read column values for the candidate rows, charging I/O."""
+    _fetch_cost(rt, table, column, lo, hi, positions)
+    array = table.array(column)
+    if positions is None:
+        return array[lo:hi]
+    if len(positions) == 0:
+        return np.empty(0, dtype=np.int64)
     return array[positions]
 
 
@@ -176,22 +193,29 @@ def _scan_sortedness(scan, table, positions):
     return tuple(scan.qualified(c) for c in table.sort_order)
 
 
-def _scan_select(rt, scan, predicates, needed):
-    """Scan with fused selection: binary-searchable sorted prefix, then
-    column-at-a-time residual predicates over the candidates."""
-    table = rt.engine.table(scan.table)
-    # Map qualified plan columns back to base column names.
+def _needed_base_columns(scan, needed):
+    """Base column names for the needed outputs, in scan output order."""
     base_needed = []
     for col in scan.output_columns():
         if col in needed:
             base_needed.append(_base_column(scan, col))
+    return base_needed
+
+
+def _group_predicates(scan, predicates):
+    """Predicates keyed by base column, preserving predicate order."""
     by_base = {}
     for pred in predicates:
         by_base.setdefault(_base_column(scan, pred.column), []).append(pred)
+    return by_base
 
+
+def _sorted_prefix(rt, table, by_base):
+    """Binary-search the equality predicates that follow the sort order;
+    returns the narrowed ``(lo, hi)`` range and the consumed predicate
+    ids.  Charges probe I/O + CPU as it descends."""
     lo, hi = 0, table.n_rows
     consumed = set()
-    # Binary-searchable prefix: equality predicates following sort order.
     for sort_col in table.sort_order:
         preds = by_base.get(sort_col, [])
         eq = next((p for p in preds if p.is_equality()), None)
@@ -201,7 +225,25 @@ def _scan_select(rt, scan, predicates, needed):
         consumed.add(id(eq))
         if lo >= hi:
             break
+    return lo, hi, consumed
 
+
+def _scan_select(rt, scan, predicates, needed):
+    """Scan with fused selection: binary-searchable sorted prefix, then
+    column-at-a-time residual predicates over the candidates."""
+    table = rt.engine.table(scan.table)
+    base_needed = _needed_base_columns(scan, needed)
+    by_base = _group_predicates(scan, predicates)
+    lo, hi, consumed = _sorted_prefix(rt, table, by_base)
+    return _scan_select_body(
+        rt, scan, table, by_base, consumed, base_needed, lo, hi
+    )
+
+
+def _scan_select_body(rt, scan, table, by_base, consumed, base_needed,
+                      lo, hi):
+    """Residual predicates + needed-column gathers over ``[lo, hi)`` —
+    the serial tail shared by the morsel dispatcher's fallback path."""
     positions = None  # None means the dense range [lo, hi)
     count = hi - lo
     # Remaining predicates: evaluate column-at-a-time over candidates.
@@ -243,6 +285,10 @@ def _scan_select(rt, scan, predicates, needed):
         values = _fetch(rt, table, base_col, lo, hi, positions)
         rt.clock.charge_cpu(rt.costs.scan_tuple * count)
         columns[scan.qualified(base_col)] = values
+    return _finish_scan(scan, table, columns, count, positions)
+
+
+def _finish_scan(scan, table, columns, count, positions):
     if not columns:
         # Parent only needs the row count (e.g. a bare count(*)).
         columns["__rowid__"] = np.arange(count, dtype=np.int64)
@@ -423,13 +469,424 @@ def compressed_join(rt, pnode, needed):
 
 
 # ---------------------------------------------------------------------------
-# access paths
+# morsel-driven parallel access paths
 # ---------------------------------------------------------------------------
+#
+# Guarded like the compressed kernels: they bind only when the live engine
+# has a ParallelContext installed (``install_parallelism``), so a serial
+# engine lowers exactly as before.  Workers perform pure data-plane numpy
+# work (predicate masks, position narrowing, column gathers) and NEVER
+# touch the clock or buffer pool; the coordinator replays the cost charges
+# in the exact serial order over the merged positions, which makes rows
+# AND simulated-cost documents bit-identical to serial execution at any
+# worker count.  Tables with physical compression are excluded — the RLE
+# run-level residual path and compressed byte-range fetches are inherently
+# dense-range shaped (logical compression mode stays eligible because
+# ``physical_encoding`` returns None there).
 
 def _match_fused_scan(node):
     if isinstance(node, L.Select) and isinstance(node.child, L.Scan):
         return Lowered(fused=(node.child,))
     return None
+
+
+def _parallel_context(engine):
+    getter = getattr(engine, "parallelism", None)
+    return getter() if getter is not None else None
+
+
+def _parallel_table_ok(engine, table_name):
+    if not engine.has_table(table_name):
+        return False
+    table = engine.table(table_name)
+    return table.compress is None or table.compress.cost_mode != "physical"
+
+
+def _guard_parallel_fused(engine, node):
+    if _parallel_context(engine) is None:
+        return False
+    if not (isinstance(node, L.Select) and isinstance(node.child, L.Scan)):
+        return False
+    return _parallel_table_ok(engine, node.child.table)
+
+
+def _guard_parallel_scan(engine, node):
+    if _parallel_context(engine) is None:
+        return False
+    return isinstance(node, L.Scan) and _parallel_table_ok(engine, node.table)
+
+
+def _make_morsel_scan_task(table, residual, base_needed, mlo, mhi):
+    """Data-plane work for one morsel ``[mlo, mhi)``: evaluate the
+    residual predicates stage by stage and gather the needed columns.
+    Returns ``(stage_positions, gathers)`` — masks are row-local, so the
+    morsel-index-ordered concatenation of each stage equals the serial
+    stage arrays exactly."""
+
+    def task():
+        stages = []
+        local = None
+        for base_col, pred in residual:
+            array = table.array(base_col)
+            if local is None:
+                mask = pred.mask(array[mlo:mhi])
+                local = mlo + np.nonzero(mask)[0]
+            elif len(local):
+                local = local[pred.mask(array[local])]
+            stages.append(local)
+        gathers = {}
+        for base_col in base_needed:
+            array = table.array(base_col)
+            if local is None:
+                gathers[base_col] = array[mlo:mhi]
+            else:
+                gathers[base_col] = array[local]
+        return stages, gathers
+
+    return task
+
+
+def _morsel_span_attribution(rt, snap, wall0, task_rows, steals):
+    """Fold the parallel section's clock delta into per-morsel child
+    spans, apportioned by morsel row count (the last morsel takes the
+    exact remainder, so the shares telescope back to the delta and the
+    span-sum invariant holds to the bit)."""
+    observe = rt.engine.observe
+    tracer = observe.tracer
+    now = rt.clock.profile_snapshot()
+    wall = wall_now() - wall0
+    delta = [now[i] - snap[i] for i in range(6)]
+    total = sum(task_rows)
+    remaining = list(delta)
+    wall_remaining = wall
+    last = len(task_rows) - 1
+    for index, rows in enumerate(task_rows):
+        if index == last:
+            share, wall_share = remaining, wall_remaining
+        else:
+            frac = (rows / total) if total else 0.0
+            share = [delta[i] * frac for i in range(6)]
+            wall_share = wall * frac
+            remaining = [remaining[i] - share[i] for i in range(6)]
+            wall_remaining -= wall_share
+        child = tracer.transfer_to_child(
+            f"morsel[{index}]", share, wall_share
+        )
+        if child is not None:
+            child.rows = rows
+    tracer.current_add(morsels=len(task_rows), steals=int(steals))
+    metrics = observe.metrics
+    metrics.counter("parallel.batches").inc(1)
+    metrics.counter("parallel.morsels").inc(len(task_rows))
+    metrics.counter("parallel.steals").inc(int(steals))
+
+
+def _parallel_scan_select(rt, scan, predicates, needed):
+    """Morsel-parallel scan with fused selection.
+
+    The sorted-prefix binary search stays on the coordinator (it narrows
+    the range the morsels split).  Workers produce per-morsel stage
+    positions and gathers; the coordinator merges them by morsel index
+    and replays the residual/gather charges in serial order.
+    """
+    table = rt.engine.table(scan.table)
+    context = _parallel_context(rt.engine)
+    base_needed = _needed_base_columns(scan, needed)
+    by_base = _group_predicates(scan, predicates)
+    lo, hi, consumed = _sorted_prefix(rt, table, by_base)
+    dop = effective_dop(rt, context)
+    morsels = split_morsels(lo, hi, context.morsel_rows)
+    if dop <= 1 or len(morsels) <= 1:
+        # Nothing to parallelize (admission clamped the query to one
+        # lane, or the range fits one morsel): run the serial body.
+        return _scan_select_body(
+            rt, scan, table, by_base, consumed, base_needed, lo, hi
+        )
+    residual = [
+        (base_col, pred)
+        for base_col, preds in by_base.items()
+        for pred in preds
+        if id(pred) not in consumed
+    ]
+    tasks = [
+        _make_morsel_scan_task(table, residual, base_needed, mlo, mhi)
+        for mlo, mhi in morsels
+    ]
+    observe = rt.engine.observe
+    snap = rt.clock.profile_snapshot() if observe.enabled else None
+    wall0 = wall_now()
+    results, steals = context.pool.run_batch(
+        tasks, dop, cancel_token=rt.cancel_token
+    )
+
+    # Coordinator cost replay — the exact serial charge sequence over the
+    # merged positions (count==0 short-circuits match the serial loop).
+    positions = None
+    count = hi - lo
+    for stage, (base_col, _pred) in enumerate(residual):
+        if count == 0:
+            continue
+        _fetch_cost(rt, table, base_col, lo, hi, positions)
+        rt.clock.charge_cpu(rt.costs.select_tuple * max(count, 1))
+        positions = np.concatenate([r[0][stage] for r in results])
+        count = len(positions)
+    columns = {}
+    for base_col in base_needed:
+        qualified = scan.qualified(base_col)
+        if count == 0:
+            columns[qualified] = np.empty(0, dtype=np.int64)
+            continue
+        _fetch_cost(rt, table, base_col, lo, hi, positions)
+        rt.clock.charge_cpu(rt.costs.scan_tuple * count)
+        columns[qualified] = np.concatenate(
+            [r[1][base_col] for r in results]
+        )
+    if observe.enabled:
+        _morsel_span_attribution(
+            rt, snap, wall0, [mhi - mlo for mlo, mhi in morsels], steals
+        )
+    return _finish_scan(scan, table, columns, count, positions)
+
+
+@COLUMN_OPS.operator(
+    "parallel-scan+select", _match_fused_scan,
+    "morsel-parallel scan+select: workers evaluate residual masks and "
+    "gathers per row range; the coordinator merges by morsel index and "
+    "replays the serial cost sequence",
+    guard=_guard_parallel_fused,
+)
+def parallel_scan_select(rt, pnode, needed):
+    node = pnode.logical
+    scan = node.child
+    simple = [p for p in node.predicates if not is_column_comparison(p)]
+    cross = [p for p in node.predicates if is_column_comparison(p)]
+    if not cross:
+        return rt.traced_block(
+            scan, lambda: _parallel_scan_select(rt, scan, simple, needed)
+        )
+    inner_needed = set(needed) | {c for p in cross for c in p.columns()}
+    result = rt.traced_block(
+        scan, lambda: _parallel_scan_select(rt, scan, simple, inner_needed)
+    )
+    return _apply_cross(rt, result, cross)
+
+
+@COLUMN_OPS.operator(
+    "parallel-scan", match_type(L.Scan),
+    "morsel-parallel full-column scan (dense per-range gathers merged "
+    "by morsel index)",
+    guard=_guard_parallel_scan,
+)
+def parallel_scan(rt, pnode, needed):
+    return _parallel_scan_select(rt, pnode.logical, [], needed)
+
+
+class _UnionBranchInfo:
+    """Static per-branch facts the parallel union needs: the table, its
+    row count, the columns to fetch (cost replay), the columns to gather
+    (data plane), and the kept output mapping."""
+
+    __slots__ = ("table", "count", "fetch_cols", "gather_cols",
+                 "extend_out", "extend_value", "part_mapping")
+
+    def __init__(self, table, count, fetch_cols, gather_cols, extend_out,
+                 extend_value, part_mapping):
+        self.table = table
+        self.count = count
+        self.fetch_cols = fetch_cols
+        self.gather_cols = gather_cols
+        self.extend_out = extend_out
+        self.extend_value = extend_value
+        self.part_mapping = part_mapping
+
+
+def _union_branch_info(rt, child, out_names, keep):
+    """Resolve one canonical ``Project(Extend?(Scan))`` union branch into
+    a :class:`_UnionBranchInfo`, reproducing the fast path's needed-column
+    propagation (including extend's first-column quirk) exactly."""
+    mapping = child.mapping
+    inner = child.child
+    extend_node = None
+    if type(inner) is L.Extend:
+        extend_node = inner
+        inner = inner.child
+    scan_node = inner
+
+    child_needed = {mapping[i][1] for i in keep}
+    if extend_node is not None:
+        scan_needed = child_needed - {extend_node.column}
+        if not scan_needed:
+            scan_needed = {scan_node.output_columns()[0]}
+    else:
+        scan_needed = child_needed
+
+    table = rt.engine.table(scan_node.table)
+    fetch_cols = [
+        (qualified, _base_column(scan_node, qualified))
+        for qualified in scan_node.output_columns()
+        if qualified in scan_needed
+    ]
+    extend_out = None
+    extend_value = 0
+    if extend_node is not None and extend_node.column in child_needed:
+        extend_out = extend_node.column
+        extend_value = extend_fill_value(extend_node.value)
+    gather_cols = [
+        (qualified, base_col)
+        for qualified, base_col in fetch_cols
+        if any(mapping[i][1] == qualified for i in keep)
+    ]
+    part_mapping = [(out_names[i], mapping[i][1]) for i in keep]
+    return _UnionBranchInfo(
+        table, table.n_rows, fetch_cols, gather_cols, extend_out,
+        extend_value, part_mapping,
+    )
+
+
+def _make_union_group_task(group, out_keys):
+    """Data-plane work for one branch group: per-branch kept arrays
+    (dense slices + constant extend fills), concatenated per output in
+    branch order within the group."""
+
+    def task():
+        parts = []
+        for info in group:
+            fetched = {}
+            for qualified, base_col in info.gather_cols:
+                if info.count == 0:
+                    fetched[qualified] = np.empty(0, dtype=np.int64)
+                else:
+                    fetched[qualified] = info.table.array(base_col)
+            if info.extend_out is not None:
+                fetched[info.extend_out] = np.full(
+                    info.count, info.extend_value, dtype=np.int64
+                )
+            parts.append(
+                {out: fetched[inner] for out, inner in info.part_mapping}
+            )
+        return {
+            out: np.concatenate([part[out] for part in parts])
+            for out in out_keys
+        }
+
+    return task
+
+
+def _guard_parallel_union(engine, node):
+    if _parallel_context(engine) is None:
+        return False
+    if not isinstance(node, L.Union):
+        return False
+    branches = list(node.children())
+    if len(branches) < 2:
+        return False
+    for child in branches:
+        if type(child) is not L.Project:
+            return False
+        inner = child.child
+        extended = set()
+        if type(inner) is L.Extend:
+            extended = {inner.column}
+            inner = inner.child
+        if type(inner) is not L.Scan:
+            return False
+        if not _parallel_table_ok(engine, inner.table):
+            return False
+        legal = set(inner.output_columns()) | extended
+        if any(source not in legal for _, source in child.mapping):
+            return False
+    return True
+
+
+def _match_parallel_union(node):
+    return Lowered(fused=tuple(node.children()))
+
+
+@COLUMN_OPS.operator(
+    "parallel-union", _match_parallel_union,
+    "morsel-parallel union of canonical Project(Extend?(Scan)) branches: "
+    "branch groups gather on workers, the coordinator replays per-branch "
+    "charges in branch order",
+    guard=_guard_parallel_union,
+)
+def parallel_union(rt, pnode, needed):
+    node = pnode.logical
+    context = _parallel_context(rt.engine)
+    out_names = node.output_columns()
+    keep = [i for i, name in enumerate(out_names) if name in needed]
+    if not keep:
+        keep = [0]
+    branches = list(node.children())
+    infos = [
+        _union_branch_info(rt, child, out_names, keep) for child in branches
+    ]
+    total_in = sum(info.count for info in infos)
+
+    # Group branches into morsel-sized chunks (deterministic: depends
+    # only on branch order and static table sizes, never on workers).
+    groups = []
+    current, rows = [], 0
+    for info in infos:
+        current.append(info)
+        rows += info.count
+        if rows >= context.morsel_rows:
+            groups.append(current)
+            current, rows = [], 0
+    if current:
+        groups.append(current)
+
+    dop = effective_dop(rt, context)
+    out_keys = [out_names[i] for i in keep]
+    oid = set(out_keys)  # scans and extends only produce oid columns
+
+    if dop <= 1 or len(groups) <= 1:
+        # Serial fallback: the fast path charges in branch order.
+        parts = []
+        for child in branches:
+            part, _n_rows, _part_oid = _union_branch_fast(
+                rt, child, out_names, keep
+            )
+            parts.append(part)
+        columns = {
+            out: np.concatenate([part[out] for part in parts])
+            for out in out_keys
+        }
+    else:
+        tasks = [_make_union_group_task(group, out_keys) for group in groups]
+        observe = rt.engine.observe
+        snap = rt.clock.profile_snapshot() if observe.enabled else None
+        wall0 = wall_now()
+        results, steals = context.pool.run_batch(
+            tasks, dop, cancel_token=rt.cancel_token
+        )
+        # Replay the per-branch fetch charges in branch order.
+        for info in infos:
+            if info.count == 0:
+                continue
+            for _qualified, base_col in info.fetch_cols:
+                _fetch_cost(rt, info.table, base_col, 0, info.count, None)
+                rt.clock.charge_cpu(rt.costs.scan_tuple * info.count)
+        if observe.enabled:
+            _morsel_span_attribution(
+                rt, snap, wall0,
+                [sum(info.count for info in group) for group in groups],
+                steals,
+            )
+        columns = {
+            out: np.concatenate([block[out] for block in results])
+            for out in out_keys
+        }
+
+    rt.clock.charge_cpu(rt.costs.union_tuple * max(total_in, 1))
+    rel = Relation(columns, oid)
+    if node.distinct:
+        rt.clock.charge_cpu(rt.costs.group_tuple * max(rel.n_rows, 1))
+        idx = V.distinct_rows([rel.column(n) for n in rel.columns])
+        rel = Relation(
+            {n: a[idx] for n, a in rel.columns.items()}, rel.oid_columns
+        )
+        return Intermediate(rel, tuple(rel.columns))
+    return Intermediate(rel, ())
 
 
 @COLUMN_OPS.operator(

@@ -24,6 +24,8 @@ physical children, which keeps recursion — and therefore tracing — in one
 place.
 """
 
+from collections import OrderedDict
+
 from repro.errors import EngineError
 from repro.exec.registry import engine_ops, lower_plan
 from repro.observe.race import guard_lock, shared_state
@@ -48,8 +50,13 @@ LOWERING_STATS = shared_state(  # guarded-by: _LOWERING_STATS_LOCK
 )
 
 
-def lowering_cache_stats():
-    """Snapshot of the process-wide lowering-cache counters."""
+def global_lowering_cache_stats():
+    """Snapshot of the process-wide lowering-cache counters.
+
+    Named distinctly from :meth:`Runtime.lowering_cache_stats` (the
+    per-runtime view) so ``from repro.exec.runtime import ...`` is never
+    ambiguous about which scope it returns.
+    """
     with _LOWERING_STATS_LOCK:
         return dict(LOWERING_STATS)
 
@@ -107,26 +114,35 @@ class Runtime:
     #: session layer serializes engine access, so one slot suffices.
     cancel_token = None
 
+    #: Per-query degree-of-parallelism clamp.  The session layer installs
+    #: the admitted dop here (under its execution lock) before running a
+    #: plan; ``effective_dop`` can only lower the engine's configured
+    #: parallelism, never raise it, so cached lowered plans stay valid.
+    dop_override = None
+
     def __init__(self, engine):
         self.engine = engine
         self.costs = engine.costs
         self.clock = engine.clock
         self.pool = engine.pool
         self.ops = engine_ops(engine.kind)
-        self._lowered = {}  # id(plan) -> (plan, PhysicalPlan)
+        # id(plan) -> (plan, PhysicalPlan), most recently used last.
+        self._lowered = OrderedDict()
         # Always-on per-runtime cache accounting (plain ints; mutated only
         # under the owning session/connection's execution lock).
         self.lower_hits = 0
         self.lower_misses = 0
+        self.lower_evictions = 0
 
     # ------------------------------------------------------------------
     # lowering
     # ------------------------------------------------------------------
 
     def lower(self, plan):
-        """Physical tree for *plan* (cached by plan identity)."""
+        """Physical tree for *plan* (cached by plan identity, LRU)."""
         cached = self._lowered.get(id(plan))
         if cached is not None:
+            self._lowered.move_to_end(id(plan))
             self.lower_hits += 1
             with _LOWERING_STATS_LOCK:
                 LOWERING_STATS["hits"] += 1
@@ -135,8 +151,9 @@ class Runtime:
         physical = lower_plan(plan, self.engine.kind, instance=self.engine)
         evicted = 0
         if len(self._lowered) >= LOWER_CACHE_SIZE:
-            self._lowered.pop(next(iter(self._lowered)))
+            self._lowered.popitem(last=False)
             evicted = 1
+            self.lower_evictions += 1
         self._lowered[id(plan)] = (plan, physical)
         with _LOWERING_STATS_LOCK:
             LOWERING_STATS["misses"] += 1
@@ -148,8 +165,15 @@ class Runtime:
         return {
             "hits": self.lower_hits,
             "misses": self.lower_misses,
+            "evictions": self.lower_evictions,
             "size": len(self._lowered),
         }
+
+    def invalidate_lowered(self):
+        """Drop every cached physical tree.  Engines call this when a
+        configuration change (e.g. installing or removing parallelism)
+        alters which guarded operators would bind at lowering time."""
+        self._lowered.clear()
 
     # ------------------------------------------------------------------
     # entry point

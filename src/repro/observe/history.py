@@ -76,7 +76,8 @@ def collect_counters():
     from repro.bench.artifacts import cache_stats
     from repro.bench.scheduler import scheduler_stats
     from repro.engine.buffer import global_stats, hit_ratio
-    from repro.exec.runtime import lowering_cache_stats
+    from repro.exec.morsel import morsel_stats
+    from repro.exec.runtime import global_lowering_cache_stats
     from repro.storage.compress import compress_stats
 
     buffer_pool = global_stats()
@@ -89,9 +90,10 @@ def collect_counters():
     return {
         "buffer_pool": buffer_pool,
         "artifact_cache": cache_stats(),
-        "lowering_cache": lowering_cache_stats(),
+        "lowering_cache": global_lowering_cache_stats(),
         "scheduler": scheduler_stats(),
         "compression": compression,
+        "parallel": morsel_stats(),
     }
 
 
@@ -100,6 +102,7 @@ def reset_counters():
     cover exactly that run."""
     from repro.bench.scheduler import reset_scheduler_stats
     from repro.engine.buffer import reset_global_stats
+    from repro.exec.morsel import reset_morsel_stats
     from repro.exec.runtime import reset_lowering_cache_stats
     from repro.storage.compress import reset_compress_stats
 
@@ -107,6 +110,7 @@ def reset_counters():
     reset_lowering_cache_stats()
     reset_scheduler_stats()
     reset_compress_stats()
+    reset_morsel_stats()
 
 
 def strip_meta(document):

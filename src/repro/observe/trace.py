@@ -52,6 +52,18 @@ def active_span_id():
     span = _ACTIVE_TRACERS[-1].current_span()
     return span.sid if span is not None else None
 
+
+def wall_now():
+    """Monotonic wall timestamp for span attribution.
+
+    Engine code may never let the wall clock near a simulated cost (the
+    ``wall-clock-in-engine`` lint rule); the parallel operators measure
+    the wall duration of a worker batch *for span attribution only*
+    through this observe-side helper, keeping the wall clock confined to
+    the observability layer.
+    """
+    return time.perf_counter()
+
 #: Indices into a clock snapshot / span time vector.
 CPU, IO, BYTES, REQUESTS, SEEK, TRANSFER = range(6)
 
@@ -282,6 +294,35 @@ class Tracer:
         if self._stack:
             self._stack[-1][0].add_counts(counts)
 
+    def transfer_to_child(self, name, vector, wall_seconds=0.0):
+        """Reattribute part of the active frame's pending charge to a
+        child span named *name* (created under the active span on first
+        use; repeats merge by name).
+
+        The vector lands in the child's self time AND in the frame's
+        child-subtraction vector, so the parent's self time shrinks by
+        exactly the transferred amount — the tree-sum invariant
+        (``sum of self == total clock charge``) is preserved
+        structurally.  The morsel dispatcher uses this to split one
+        coordinator-side cost replay across per-morsel child spans.
+        """
+        if not self._stack:
+            return None
+        frame = self._stack[-1]
+        parent = frame[0]
+        child = parent.child_named(name)
+        if child is None:
+            child = Span(name, "", parent)
+            parent.children.append(child)
+        child.calls += 1
+        child_vec = frame[3]
+        for i in range(6):
+            child.self_sim[i] += vector[i]
+            child_vec[i] += vector[i]
+        child.wall_self += wall_seconds
+        frame[4] += wall_seconds
+        return child
+
     def current_span(self):
         return self._stack[-1][0] if self._stack else None
 
@@ -328,6 +369,9 @@ class NullTracer:
 
     def current_add(self, **counts):
         pass
+
+    def transfer_to_child(self, name, vector, wall_seconds=0.0):
+        return None
 
     def current_span(self):
         return None

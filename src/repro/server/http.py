@@ -51,7 +51,8 @@ class QueryServer:
     """The serving stack: connection + scheduler + HTTP listener."""
 
     def __init__(self, connection, host="127.0.0.1", port=8737,
-                 workers=4, queue_depth=64, default_timeout=None):
+                 workers=4, queue_depth=64, default_timeout=None,
+                 max_dop=None):
         self.connection = connection
         self.scheduler = SessionScheduler(
             connection,
@@ -59,6 +60,7 @@ class QueryServer:
                 workers=workers,
                 queue_depth=queue_depth,
                 default_timeout=default_timeout,
+                max_dop=max_dop,
             ),
         )
         self._sessions = {}   # id -> {"timeout": ..., "lint": ...}
@@ -176,7 +178,7 @@ class QueryServer:
             kwargs.update(
                 {k: v for k, v in defaults.items() if v is not None}
             )
-        for key in ("timeout", "lint", "mode", "scope"):
+        for key in ("timeout", "lint", "mode", "scope", "workers"):
             if body.get(key) is not None:
                 kwargs[key] = body[key]
         if body.get("optimize"):
@@ -228,6 +230,19 @@ class QueryServer:
             "buffer_hit_ratio": store.engine.pool.hit_ratio(),
         }
         document["plan_cache"] = self.connection.plan_cache_stats()
+        from repro.exec.morsel import morsel_stats
+
+        engine = store.engine
+        context = (
+            engine.parallelism() if hasattr(engine, "parallelism") else None
+        )
+        document["parallel"] = {
+            "engine_workers": getattr(engine, "workers", 1),
+            "pool_helpers": 0 if context is None else context.pool.helpers,
+            "morsel_rows": None if context is None else context.morsel_rows,
+            "max_dop": self.scheduler.config.max_dop,
+            **morsel_stats(),
+        }
         with self._session_lock:
             document["sessions"] = {"open": len(self._sessions)}
         from repro.observe.race import race_check_enabled, race_report
@@ -329,7 +344,8 @@ def _make_handler(server):
 
 
 def serve(connection, host="127.0.0.1", port=8737, workers=4,
-          queue_depth=64, default_timeout=None, background=False):
+          queue_depth=64, default_timeout=None, background=False,
+          max_dop=None):
     """Stand up a :class:`QueryServer` over *connection*.
 
     With ``background=True`` the listener runs on a daemon thread and the
@@ -341,6 +357,7 @@ def serve(connection, host="127.0.0.1", port=8737, workers=4,
     server = QueryServer(
         connection, host=host, port=port, workers=workers,
         queue_depth=queue_depth, default_timeout=default_timeout,
+        max_dop=max_dop,
     )
     if background:
         return server.start()

@@ -49,12 +49,18 @@ class SchedulerConfig:
     workers: int = 4
     queue_depth: int = 64
     default_timeout: object = None  # seconds, None = no deadline
+    #: Per-query degree-of-parallelism admission cap: a request asking for
+    #: more intra-query workers than this is clamped, never rejected.
+    #: ``None`` admits whatever the engine is configured for.
+    max_dop: object = None
 
     def __post_init__(self):
         if self.workers < 1:
             raise ReproError("scheduler needs at least one worker")
         if self.queue_depth < 1:
             raise ReproError("queue depth must be >= 1")
+        if self.max_dop is not None and int(self.max_dop) < 1:
+            raise ReproError("max_dop must be >= 1 (or None)")
 
 
 class _Request:
@@ -113,6 +119,14 @@ class SessionScheduler:
         timeout = kwargs.pop("timeout", None)
         if timeout is None:
             timeout = self.config.default_timeout
+        workers = kwargs.get("workers")
+        if workers is not None:
+            workers = max(1, int(workers))
+            if self.config.max_dop is not None:
+                workers = min(workers, int(self.config.max_dop))
+            kwargs["workers"] = workers
+        elif self.config.max_dop is not None:
+            kwargs["workers"] = int(self.config.max_dop)
         deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
@@ -241,6 +255,7 @@ class SessionScheduler:
             "workers": self.config.workers,
             "queue_capacity": self.config.queue_depth,
             "accepting": self._accepting,
+            "max_dop": self.config.max_dop,
         }
         return snapshot
 

@@ -54,10 +54,11 @@ class TestCounters:
         counters = collect_counters()
         assert sorted(counters) == [
             "artifact_cache", "buffer_pool", "compression",
-            "lowering_cache", "scheduler",
+            "lowering_cache", "parallel", "scheduler",
         ]
         assert "hit_ratio" in counters["buffer_pool"]
         assert "compression_ratio" in counters["compression"]
+        assert "steals" in counters["parallel"]
 
     def test_reset_zeroes_everything(self, profile):
         # The module-scoped profile fixture has run queries, so the global

@@ -360,7 +360,7 @@ class TestCounterOverhead:
         assert results  # the smoke run produced output
 
         stats = buffer.global_stats()
-        lowering = runtime.lowering_cache_stats()
+        lowering = runtime.global_lowering_cache_stats()
         # Each _account call performs ~5 dict increments; each lowering
         # lookup performs ~2; evictions one each.  Overcount generously.
         events = (
